@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared helpers for the figure/table regeneration benches.
+ *
+ * Each bench binary rebuilds one artefact of the paper's evaluation
+ * (§4) and prints the same rows/series the paper reports. Absolute
+ * numbers come from this repo's simulator + energy model; the shapes
+ * (who wins, by roughly what factor) are the reproduction target.
+ */
+
+#ifndef BITSPEC_BENCH_COMMON_H_
+#define BITSPEC_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "support/stats.h"
+#include "support/str.h"
+#include "workloads/workload.h"
+
+namespace bitspec::bench
+{
+
+/** Build a System for @p w profiled on @p profile_seed. */
+inline System
+makeSystem(const Workload &w, const SystemConfig &cfg,
+           uint64_t profile_seed = 0)
+{
+    return System(w.source, cfg,
+                  [&](Module &m) { w.setInput(m, profile_seed); });
+}
+
+/** Run @p sys on input @p run_seed. */
+inline RunResult
+runSeed(System &sys, const Workload &w, uint64_t run_seed = 0)
+{
+    return sys.run([&](Module &m) { w.setInput(m, run_seed); });
+}
+
+/** Compile + run in one step. */
+inline RunResult
+evaluate(const Workload &w, const SystemConfig &cfg,
+         uint64_t profile_seed = 0, uint64_t run_seed = 0)
+{
+    System sys = makeSystem(w, cfg, profile_seed);
+    return runSeed(sys, w, run_seed);
+}
+
+inline void
+printHeader(const std::string &title, const std::string &caption)
+{
+    std::printf("\n==== %s ====\n%s\n\n", title.c_str(),
+                caption.c_str());
+}
+
+inline void
+printRow(const std::string &name,
+         const std::vector<std::pair<std::string, double>> &cols)
+{
+    std::printf("%-16s", name.c_str());
+    for (const auto &[label, v] : cols)
+        std::printf("  %s=%-10.4g", label.c_str(), v);
+    std::printf("\n");
+}
+
+} // namespace bitspec::bench
+
+#endif // BITSPEC_BENCH_COMMON_H_

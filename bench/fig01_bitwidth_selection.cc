@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Fig. 1 (a-d): percentage of dynamic IR integer instructions at each
+ * bitwidth under four selection techniques — (a) required bits,
+ * (b) programmer-selected, (c) demanded-bits static analysis,
+ * (d) basic-block-granularity coercion [Pokam et al.].
+ */
+
+#include <map>
+
+#include "../bench/common.h"
+#include "analysis/demanded_bits.h"
+#include "frontend/irgen.h"
+#include "interp/interpreter.h"
+#include "support/bits.h"
+
+using namespace bitspec;
+
+namespace
+{
+
+struct Hist
+{
+    uint64_t c[4] = {0, 0, 0, 0}; // 8/16/32/64.
+
+    void
+    add(unsigned bits, uint64_t n = 1)
+    {
+        unsigned cls = bitwidthClass(bits);
+        c[cls == 8 ? 0 : cls == 16 ? 1 : cls == 32 ? 2 : 3] += n;
+    }
+
+    std::string
+    str() const
+    {
+        uint64_t total = c[0] + c[1] + c[2] + c[3];
+        if (total == 0)
+            return "-";
+        return strFormat("8b:%5.1f%%  16b:%5.1f%%  32b:%5.1f%%",
+                         100.0 * c[0] / total, 100.0 * c[1] / total,
+                         100.0 * (c[2] + c[3]) / total);
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Figure 1: bitwidth selection techniques",
+        "Share of dynamic integer IR instructions per bitwidth class.\n"
+        "(a) required  (b) programmer-selected  (c) demanded-bits  "
+        "(d) basic-block max");
+
+    for (const Workload &w : mibenchSuite()) {
+        auto mod = compileSource(w.source);
+        w.setInput(*mod, 0);
+
+        // Static analyses.
+        std::map<const Instruction *, unsigned> demanded;
+        for (const auto &f : mod->functions()) {
+            DemandedBits db(*f);
+            for (const auto &bb : f->blocks())
+                for (const auto &inst : bb->insts())
+                    if (inst->type().isInt())
+                        demanded[inst.get()] = std::min(
+                            inst->type().bits,
+                            db.demandedWidth(inst.get()));
+        }
+
+        // Dynamic profiling run: collect required bits per
+        // instruction (for the block max) and the histograms.
+        Hist required, programmer, demand_hist;
+        std::map<const Instruction *, unsigned> max_bits;
+        std::map<const Instruction *, uint64_t> exec_count;
+        {
+            Interpreter in(*mod);
+            in.onAssign = [&](const Instruction *inst, uint64_t v) {
+                unsigned rb = requiredBits(v);
+                required.add(rb);
+                programmer.add(inst->type().bits);
+                demand_hist.add(demanded.count(inst)
+                                    ? demanded[inst]
+                                    : inst->type().bits);
+                unsigned &m = max_bits[inst];
+                m = std::max(m, rb);
+                ++exec_count[inst];
+            };
+            in.run("main");
+        }
+
+        // (d) coerce every variable to the max required bits seen in
+        // its basic block.
+        std::map<const BasicBlock *, unsigned> block_max;
+        for (const auto &[inst, bits] : max_bits) {
+            unsigned &m = block_max[inst->parent()];
+            m = std::max(m, bits);
+        }
+        Hist block_hist;
+        for (const auto &[inst, n] : exec_count)
+            block_hist.add(block_max[inst->parent()], n);
+
+        std::printf("%-16s\n", w.name.c_str());
+        std::printf("  (a) required    %s\n", required.str().c_str());
+        std::printf("  (b) programmer  %s\n", programmer.str().c_str());
+        std::printf("  (c) demanded    %s\n",
+                    demand_hist.str().c_str());
+        std::printf("  (d) block max   %s\n", block_hist.str().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fig. 5: percent of dynamic integer instructions the profiler
+ * classifies as 8/16/32 bits under T = MAX, AVG, MIN.
+ */
+
+#include "../bench/common.h"
+#include "frontend/irgen.h"
+#include "profile/bitwidth_profile.h"
+
+using namespace bitspec;
+
+int
+main()
+{
+    bench::printHeader(
+        "Figure 5: profiler bitwidth selections per heuristic",
+        "Share of dynamic assignments classified 8/16/32+ bits when "
+        "T = MAX / AVG / MIN.");
+
+    for (const Workload &w : mibenchSuite()) {
+        auto mod = compileSource(w.source);
+        w.setInput(*mod, 0);
+        BitwidthProfile p;
+        p.profileRun(*mod);
+
+        std::printf("%-16s", w.name.c_str());
+        for (Heuristic h :
+             {Heuristic::Max, Heuristic::Avg, Heuristic::Min}) {
+            auto hist = p.classHistogram(h);
+            double total = static_cast<double>(hist[0] + hist[1] +
+                                               hist[2] + hist[3]);
+            std::printf("  %s[8b:%5.1f%% 16b:%5.1f%% 32b:%5.1f%%]",
+                        heuristicName(h), 100.0 * hist[0] / total,
+                        100.0 * hist[1] / total,
+                        100.0 * (hist[2] + hist[3]) / total);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

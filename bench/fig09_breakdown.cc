@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fig. 9: per-component energy breakdown (ALU, register file, D$, I$,
+ * pipeline), BITSPEC relative to the same component on BASELINE.
+ */
+
+#include "../bench/common.h"
+
+using namespace bitspec;
+using namespace bitspec::bench;
+
+int
+main()
+{
+    printHeader("Figure 9: component energy breakdown",
+                "Each column: BITSPEC component energy / BASELINE "
+                "component energy.");
+
+    std::printf("%-16s %8s %8s %8s %8s %8s | %s\n", "benchmark", "ALU",
+                "RF", "D$", "I$", "pipe", "baseline shares");
+    for (const Workload &w : mibenchSuite()) {
+        RunResult b = evaluate(w, SystemConfig::baseline());
+        RunResult s = evaluate(w, SystemConfig::bitspec());
+        double bt = b.energy.total();
+        std::printf(
+            "%-16s %8.3f %8.3f %8.3f %8.3f %8.3f | "
+            "alu %.0f%% rf %.0f%% d$ %.0f%% i$ %.0f%% pipe %.0f%%\n",
+            w.name.c_str(), s.energy.alu / b.energy.alu,
+            s.energy.regfile / b.energy.regfile,
+            s.energy.dcache / b.energy.dcache,
+            s.energy.icache / b.energy.icache,
+            s.energy.pipeline / b.energy.pipeline,
+            100 * b.energy.alu / bt, 100 * b.energy.regfile / bt,
+            100 * b.energy.dcache / bt, 100 * b.energy.icache / bt,
+            100 * b.energy.pipeline / bt);
+    }
+    return 0;
+}

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fig. 12 (RQ2): register packing WITHOUT speculation (exact
+ * demanded-bits narrowing only) vs full BITSPEC, both relative to
+ * BASELINE. The paper: no-speculation loses ~3.2% additional energy
+ * on average and recovers nothing on CRC32.
+ */
+
+#include "../bench/common.h"
+
+using namespace bitspec;
+using namespace bitspec::bench;
+
+int
+main()
+{
+    printHeader("Figure 12: is speculation necessary? (RQ2)",
+                "Energy relative to BASELINE: exact (no-speculation) "
+                "narrowing vs speculative BITSPEC.");
+
+    std::vector<double> nospec_r, spec_r;
+    std::printf("%-16s %12s %12s\n", "benchmark", "no-spec",
+                "bitspec");
+    for (const Workload &w : mibenchSuite()) {
+        RunResult base = evaluate(w, SystemConfig::baseline());
+        RunResult ns = evaluate(w, SystemConfig::noSpeculation());
+        RunResult sp = evaluate(w, SystemConfig::bitspec());
+        double rn = ns.totalEnergy / base.totalEnergy;
+        double rs = sp.totalEnergy / base.totalEnergy;
+        nospec_r.push_back(rn);
+        spec_r.push_back(rs);
+        std::printf("%-16s %12.3f %12.3f\n", w.name.c_str(), rn, rs);
+    }
+    std::printf("%-16s %12.3f %12.3f\n", "mean", mean(nospec_r),
+                mean(spec_r));
+    return 0;
+}

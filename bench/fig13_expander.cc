@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fig. 13 (RQ4): disabling the expander. Paper: BASELINE loses ~10%
+ * energy without it; BITSPEC's EPI advantage shrinks from 10.36% to
+ * 6.41% — expansion and BitSpec compound.
+ */
+
+#include "../bench/common.h"
+
+using namespace bitspec;
+using namespace bitspec::bench;
+
+int
+main()
+{
+    printHeader("Figure 13: expander ablation (RQ4)",
+                "Energy/EPI relative to BASELINE-with-expander.");
+
+    std::vector<double> epi_on, epi_off;
+    std::printf("%-16s %14s %14s %14s\n", "benchmark",
+                "base(-exp)", "bitspec", "bitspec(-exp)");
+    for (const Workload &w : mibenchSuite()) {
+        RunResult base = evaluate(w, SystemConfig::baseline());
+
+        SystemConfig base_noexp = SystemConfig::baseline();
+        base_noexp.expander.enabled = false;
+        RunResult bn = evaluate(w, base_noexp);
+
+        RunResult sp = evaluate(w, SystemConfig::bitspec());
+
+        SystemConfig sp_noexp = SystemConfig::bitspec();
+        sp_noexp.expander.enabled = false;
+        RunResult sn = evaluate(w, sp_noexp);
+
+        epi_on.push_back(sp.epi / base.epi);
+        epi_off.push_back(sn.epi / bn.epi);
+        std::printf("%-16s %14.3f %14.3f %14.3f\n", w.name.c_str(),
+                    bn.totalEnergy / base.totalEnergy,
+                    sp.totalEnergy / base.totalEnergy,
+                    sn.totalEnergy / base.totalEnergy);
+    }
+    std::printf("\nmean EPI ratio with expander: %.4f, without: %.4f "
+                "(paper: 0.8964 vs 0.9359)\n",
+                mean(epi_on), mean(epi_off));
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fig. 14 + Table 2 (RQ5): energy per bitwidth-selection heuristic
+ * and the misspeculation counts. Paper: more aggressive heuristics
+ * misspeculate more, always correlating with higher energy.
+ */
+
+#include "../bench/common.h"
+
+using namespace bitspec;
+using namespace bitspec::bench;
+
+int
+main()
+{
+    printHeader("Figure 14 + Table 2: heuristic aggressiveness (RQ5)",
+                "Energy relative to BASELINE and misspeculation "
+                "counts for MAX / AVG / MIN.");
+
+    std::printf("%-16s | %8s %8s %8s | %8s %8s %8s\n", "benchmark",
+                "MAX", "AVG", "MIN", "mis-MAX", "mis-AVG", "mis-MIN");
+    for (const Workload &w : mibenchSuite()) {
+        RunResult base = evaluate(w, SystemConfig::baseline());
+        double rel[3];
+        unsigned long long mis[3];
+        int k = 0;
+        for (Heuristic h :
+             {Heuristic::Max, Heuristic::Avg, Heuristic::Min}) {
+            RunResult r = evaluate(w, SystemConfig::bitspec(h));
+            rel[k] = r.totalEnergy / base.totalEnergy;
+            mis[k] = r.counters.misspeculations;
+            ++k;
+        }
+        std::printf("%-16s | %8.3f %8.3f %8.3f | %8llu %8llu %8llu\n",
+                    w.name.c_str(), rel[0], rel[1], rel[2], mis[0],
+                    mis[1], mis[2]);
+    }
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fig. 15 (RQ6): profile-input sensitivity. Profile on an alternate
+ * input, run on the provided one. Paper: BitSpec stays robust, only
+ * +1.14% energy on average.
+ */
+
+#include "../bench/common.h"
+
+using namespace bitspec;
+using namespace bitspec::bench;
+
+int
+main()
+{
+    printHeader("Figure 15: profiler input sensitivity (RQ6)",
+                "Energy relative to BASELINE when profiling on the "
+                "provided input (self) vs an alternate input (alt).");
+
+    std::vector<double> selfs, alts;
+    std::printf("%-16s %10s %10s %10s\n", "benchmark", "self", "alt",
+                "alt/self");
+    for (const Workload &w : mibenchSuite()) {
+        RunResult base = evaluate(w, SystemConfig::baseline());
+        RunResult self = evaluate(w, SystemConfig::bitspec(), 0, 0);
+        RunResult alt = evaluate(w, SystemConfig::bitspec(), 3, 0);
+        double rs = self.totalEnergy / base.totalEnergy;
+        double ra = alt.totalEnergy / base.totalEnergy;
+        selfs.push_back(rs);
+        alts.push_back(ra);
+        std::printf("%-16s %10.3f %10.3f %10.3f\n", w.name.c_str(),
+                    rs, ra, ra / rs);
+    }
+    std::printf("%-16s %10.3f %10.3f %10.4f  (paper: +1.14%%)\n",
+                "mean", mean(selfs), mean(alts),
+                mean(alts) / mean(selfs));
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the infrastructure itself:
+ * interpreter throughput, core-model throughput, compilation and
+ * squeezing latency. Not a paper artefact — an engineering health
+ * check for this reproduction.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "backend/compiler.h"
+#include "core/system.h"
+#include "frontend/irgen.h"
+#include "interp/interpreter.h"
+#include "profile/bitwidth_profile.h"
+#include "transform/squeezer.h"
+#include "uarch/core.h"
+#include "workloads/workload.h"
+
+using namespace bitspec;
+
+namespace
+{
+
+const char *kKernel = R"(
+    u32 data[256];
+    u32 main(u32 n) {
+        u32 h = 0;
+        for (u32 r = 0; r < n; r++)
+            for (u32 i = 0; i < 256; i++)
+                h = h * 31 + (data[i] ^ (h >> 5));
+        return h;
+    }
+)";
+
+void
+BM_InterpreterThroughput(benchmark::State &state)
+{
+    auto mod = compileSource(kKernel);
+    Interpreter in(*mod);
+    uint64_t steps = 0;
+    for (auto _ : state) {
+        in.run("main", {64});
+        steps = in.stats().steps;
+    }
+    state.counters["ir_instrs_per_s"] = benchmark::Counter(
+        static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+
+void
+BM_CoreThroughput(benchmark::State &state)
+{
+    auto mod = compileSource(kKernel);
+    CompiledProgram cp = compileModule(*mod, TargetISA::Baseline);
+    uint64_t instrs = 0;
+    for (auto _ : state) {
+        Core core(cp.program, *mod);
+        core.run({64});
+        instrs = core.counters().instructions;
+    }
+    state.counters["machine_instrs_per_s"] = benchmark::Counter(
+        static_cast<double>(instrs), benchmark::Counter::kIsRate);
+}
+
+void
+BM_CompileBaseline(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto mod = compileSource(kKernel);
+        CompiledProgram cp = compileModule(*mod, TargetISA::Baseline);
+        benchmark::DoNotOptimize(cp.program.flat.size());
+    }
+}
+
+void
+BM_SqueezePipeline(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto mod = compileSource(kKernel);
+        BitwidthProfile profile;
+        profile.profileRun(*mod, "main", {4});
+        SqueezeOptions opts;
+        squeezeModule(*mod, profile, opts);
+        CompiledProgram cp = compileModule(*mod, TargetISA::BitSpec);
+        benchmark::DoNotOptimize(cp.program.flat.size());
+    }
+}
+
+void
+BM_FullSystemBuild(benchmark::State &state)
+{
+    const Workload &w = getWorkload("CRC32");
+    for (auto _ : state) {
+        System sys(w.source, SystemConfig::bitspec(),
+                   [&](Module &m) { w.setInput(m, 0); });
+        benchmark::DoNotOptimize(&sys);
+    }
+}
+
+BENCHMARK(BM_InterpreterThroughput);
+BENCHMARK(BM_CoreThroughput);
+BENCHMARK(BM_CompileBaseline);
+BENCHMARK(BM_SqueezePipeline);
+BENCHMARK(BM_FullSystemBuild);
+
+} // namespace
+
+BENCHMARK_MAIN();

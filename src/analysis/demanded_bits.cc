@@ -1,0 +1,204 @@
+#include "analysis/demanded_bits.h"
+
+#include "support/bits.h"
+
+namespace bitspec
+{
+
+namespace
+{
+
+/** Highest set bit position + 1 (0 for an empty mask). */
+unsigned
+maskWidth(uint64_t mask)
+{
+    return mask == 0 ? 0 : requiredBits(mask);
+}
+
+uint64_t
+widthMask(Type t)
+{
+    return t.isVoid() ? 0 : lowMask(t.bits);
+}
+
+} // namespace
+
+DemandedBits::DemandedBits(Function &f)
+{
+    // Initialise all instruction demands to zero.
+    std::vector<Instruction *> insts;
+    for (const auto &bb : f.blocks())
+        for (const auto &inst : bb->insts())
+            insts.push_back(inst.get());
+
+    auto demand = [&](Value *v, uint64_t bits) -> bool {
+        if (!v->isInstruction())
+            return false;
+        auto *inst = static_cast<Instruction *>(v);
+        bits &= widthMask(inst->type());
+        uint64_t &cur = masks_[inst];
+        uint64_t merged = cur | bits;
+        if (merged == cur)
+            return false;
+        cur = merged;
+        return true;
+    };
+
+    // Roots: any use with observable behaviour demands the full width
+    // of its operands.
+    for (Instruction *inst : insts) {
+        switch (inst->op()) {
+          case Opcode::Store:
+            demand(inst->operand(0), ~0ULL); // Address.
+            demand(inst->operand(1),
+                   widthMask(inst->operand(1)->type()));
+            break;
+          case Opcode::Output:
+          case Opcode::Ret:
+            for (Value *v : inst->operands())
+                demand(v, widthMask(v->type()));
+            break;
+          case Opcode::Call:
+            for (Value *v : inst->operands())
+                demand(v, widthMask(v->type()));
+            break;
+          case Opcode::Load:
+            demand(inst->operand(0), ~0ULL); // Address.
+            break;
+          case Opcode::CondBr:
+            demand(inst->operand(0), 1);
+            break;
+          case Opcode::ICmp:
+            // Comparisons observe every operand bit.
+            demand(inst->operand(0), ~0ULL);
+            demand(inst->operand(1), ~0ULL);
+            break;
+          default:
+            break;
+        }
+    }
+
+    // Backward propagation to a fixed point.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto it = insts.rbegin(); it != insts.rend(); ++it) {
+            Instruction *inst = *it;
+            uint64_t d = masks_[inst] & widthMask(inst->type());
+            if (d == 0)
+                continue;
+            unsigned h = maskWidth(d);
+            switch (inst->op()) {
+              case Opcode::Add:
+              case Opcode::Sub:
+                // Carries only travel upward: bits 0..h-1 suffice.
+                changed |= demand(inst->operand(0), lowMask(h));
+                changed |= demand(inst->operand(1), lowMask(h));
+                break;
+              case Opcode::Mul:
+                changed |= demand(inst->operand(0), lowMask(h));
+                changed |= demand(inst->operand(1), lowMask(h));
+                break;
+              case Opcode::And: {
+                // A constant mask on one side caps the other side.
+                for (int side = 0; side < 2; ++side) {
+                    Value *op = inst->operand(side);
+                    Value *other = inst->operand(1 - side);
+                    uint64_t cap = ~0ULL;
+                    if (other->isConstant())
+                        cap = static_cast<Constant *>(other)->value();
+                    changed |= demand(op, d & cap);
+                }
+                break;
+              }
+              case Opcode::Or:
+              case Opcode::Xor:
+                changed |= demand(inst->operand(0), d);
+                changed |= demand(inst->operand(1), d);
+                break;
+              case Opcode::Shl: {
+                Value *amt = inst->operand(1);
+                if (amt->isConstant()) {
+                    uint64_t k = static_cast<Constant *>(amt)->value();
+                    changed |= demand(inst->operand(0),
+                                      k >= 64 ? 0 : (d >> k));
+                } else {
+                    changed |= demand(inst->operand(0), ~0ULL);
+                    changed |= demand(amt, ~0ULL);
+                }
+                break;
+              }
+              case Opcode::LShr:
+              case Opcode::AShr: {
+                Value *amt = inst->operand(1);
+                if (amt->isConstant()) {
+                    uint64_t k = static_cast<Constant *>(amt)->value();
+                    uint64_t up = k >= 64 ? 0 : (d << k);
+                    if (inst->op() == Opcode::AShr && d != 0) {
+                        // The sign bit feeds every shifted-in position.
+                        up |= 1ULL << (inst->type().bits - 1);
+                    }
+                    changed |= demand(inst->operand(0), up);
+                } else {
+                    changed |= demand(inst->operand(0), ~0ULL);
+                    changed |= demand(amt, ~0ULL);
+                }
+                break;
+              }
+              case Opcode::UDiv:
+              case Opcode::SDiv:
+              case Opcode::URem:
+              case Opcode::SRem:
+                changed |= demand(inst->operand(0), ~0ULL);
+                changed |= demand(inst->operand(1), ~0ULL);
+                break;
+              case Opcode::Trunc:
+                changed |= demand(inst->operand(0), d);
+                break;
+              case Opcode::ZExt:
+                changed |= demand(
+                    inst->operand(0),
+                    d & widthMask(inst->operand(0)->type()));
+                break;
+              case Opcode::SExt: {
+                Type from = inst->operand(0)->type();
+                uint64_t low = d & widthMask(from);
+                if (d & ~widthMask(from))
+                    low |= 1ULL << (from.bits - 1);
+                changed |= demand(inst->operand(0), low);
+                break;
+              }
+              case Opcode::Select:
+                changed |= demand(inst->operand(0), 1);
+                changed |= demand(inst->operand(1), d);
+                changed |= demand(inst->operand(2), d);
+                break;
+              case Opcode::Phi:
+                for (Value *v : inst->operands())
+                    changed |= demand(v, d);
+                break;
+              default:
+                // Results of loads/calls originate demand; their
+                // operands were handled as roots.
+                break;
+            }
+        }
+    }
+}
+
+uint64_t
+DemandedBits::demandedMask(const Instruction *inst) const
+{
+    auto it = masks_.find(inst);
+    return it == masks_.end() ? 0 : it->second;
+}
+
+unsigned
+DemandedBits::demandedWidth(const Instruction *inst) const
+{
+    uint64_t mask = demandedMask(inst);
+    unsigned w = maskWidth(mask);
+    return w == 0 ? 1 : w;
+}
+
+} // namespace bitspec

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Demanded-bits analysis: the static bitwidth-selection baseline the
+ * paper evaluates in §2.2 / Fig. 1c.
+ *
+ * A backward fixed-point computes, for each SSA value, the mask of
+ * result bits that can affect any observable behaviour (stores, output,
+ * calls, returns, branches, addresses). The "demanded width" of a value
+ * is then the position of its highest demanded bit. Like LLVM's
+ * implementation, the analysis is precise through masks, shifts by
+ * constants, truncations and extensions, and conservative elsewhere —
+ * which is exactly why it recovers nothing on rotate-heavy kernels such
+ * as sha (paper §2.2).
+ */
+
+#ifndef BITSPEC_ANALYSIS_DEMANDED_BITS_H_
+#define BITSPEC_ANALYSIS_DEMANDED_BITS_H_
+
+#include <cstdint>
+#include <map>
+
+#include "ir/function.h"
+
+namespace bitspec
+{
+
+/** Demanded-bit masks for every instruction of one function. */
+class DemandedBits
+{
+  public:
+    explicit DemandedBits(Function &f);
+
+    /** Mask of demanded result bits; 0 means the value is dead. */
+    uint64_t demandedMask(const Instruction *inst) const;
+
+    /**
+     * Bitwidth selection BW(v) = DemandedBits(v): the smallest width
+     * covering all demanded bits (at least 1).
+     */
+    unsigned demandedWidth(const Instruction *inst) const;
+
+  private:
+    std::map<const Instruction *, uint64_t> masks_;
+};
+
+} // namespace bitspec
+
+#endif // BITSPEC_ANALYSIS_DEMANDED_BITS_H_

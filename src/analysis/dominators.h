@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Dominator tree (Cooper–Harvey–Kennedy iterative algorithm).
+ */
+
+#ifndef BITSPEC_ANALYSIS_DOMINATORS_H_
+#define BITSPEC_ANALYSIS_DOMINATORS_H_
+
+#include <map>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace bitspec
+{
+
+/** Dominator tree over the reachable blocks of a function. */
+class DomTree
+{
+  public:
+    explicit DomTree(Function &f);
+
+    /** Immediate dominator; the entry's idom is itself. */
+    BasicBlock *idom(BasicBlock *bb) const;
+
+    /** Does @p a dominate @p b? (Reflexive.) */
+    bool dominates(BasicBlock *a, BasicBlock *b) const;
+
+    /**
+     * Does the definition @p def dominate the use site (@p user inside
+     * @p use_block)? For phis the use site is the incoming block's end.
+     */
+    bool dominatesUse(const Instruction *def, const Instruction *user,
+                      size_t operand_index) const;
+
+    /** True iff @p bb was reachable when the tree was built. */
+    bool isReachable(BasicBlock *bb) const
+    {
+        return idom_.count(bb) > 0;
+    }
+
+  private:
+    std::map<BasicBlock *, BasicBlock *> idom_;
+    std::map<BasicBlock *, unsigned> rpoIndex_;
+};
+
+} // namespace bitspec
+
+#endif // BITSPEC_ANALYSIS_DOMINATORS_H_

@@ -1,0 +1,98 @@
+#include "analysis/liveness.h"
+
+#include "analysis/cfg.h"
+
+namespace bitspec
+{
+
+namespace
+{
+
+bool
+isTracked(const Value *v)
+{
+    return v->isInstruction() || v->kind() == ValueKind::Argument;
+}
+
+} // namespace
+
+Liveness::Liveness(Function &f, bool handler_edges)
+{
+    // Successor map including handler edges when requested.
+    std::map<const BasicBlock *, std::vector<BasicBlock *>> succs;
+    for (const auto &bb : f.blocks())
+        succs[bb.get()] = bb->successors();
+    if (handler_edges) {
+        for (const auto &sr : f.specRegions())
+            for (BasicBlock *member : sr->blocks)
+                succs[member].push_back(sr->handler);
+    }
+
+    // use[b]: used before any def in b (phi uses attributed to the
+    // incoming edge, i.e. to the predecessor's live-out).
+    // def[b]: values defined in b.
+    std::map<const BasicBlock *, std::set<const Value *>> use, def;
+    // phiUse[pred] accumulates values consumed by successor phis.
+    std::map<const BasicBlock *, std::set<const Value *>> phi_use;
+
+    for (const auto &bb : f.blocks()) {
+        auto &u = use[bb.get()];
+        auto &d = def[bb.get()];
+        for (const auto &inst : bb->insts()) {
+            if (inst->isPhi()) {
+                for (size_t i = 0; i < inst->numOperands(); ++i) {
+                    Value *v = inst->operand(i);
+                    if (isTracked(v))
+                        phi_use[inst->blockOperand(i)].insert(v);
+                }
+            } else {
+                for (Value *v : inst->operands())
+                    if (isTracked(v) && !d.count(v))
+                        u.insert(v);
+            }
+            if (!inst->type().isVoid())
+                d.insert(inst.get());
+        }
+    }
+
+    // Backward dataflow to a fixed point.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto it = f.blocks().rbegin(); it != f.blocks().rend(); ++it) {
+            const BasicBlock *bb = it->get();
+            std::set<const Value *> out = phi_use[bb];
+            for (BasicBlock *s : succs[bb])
+                for (const Value *v : liveIn_[s])
+                    out.insert(v);
+            std::set<const Value *> in = use[bb];
+            for (const Value *v : out)
+                if (!def[bb].count(v))
+                    in.insert(v);
+            // Phi results are defined at the top of the block but their
+            // "definition" already sits in def[bb]; phis themselves are
+            // live-in only via other blocks.
+            if (out != liveOut_[bb] || in != liveIn_[bb]) {
+                liveOut_[bb] = std::move(out);
+                liveIn_[bb] = std::move(in);
+                changed = true;
+            }
+        }
+    }
+}
+
+const std::set<const Value *> &
+Liveness::liveIn(const BasicBlock *bb) const
+{
+    auto it = liveIn_.find(bb);
+    return it == liveIn_.end() ? empty_ : it->second;
+}
+
+const std::set<const Value *> &
+Liveness::liveOut(const BasicBlock *bb) const
+{
+    auto it = liveOut_.find(bb);
+    return it == liveOut_.end() ? empty_ : it->second;
+}
+
+} // namespace bitspec

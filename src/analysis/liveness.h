@@ -1,0 +1,50 @@
+/**
+ * @file
+ * IR-level liveness over dense value ids.
+ *
+ * When built with handler edges, blocks of speculative regions count as
+ * predecessors of their handler (paper Eq. 2): anything the handler
+ * needs is treated as live throughout the region, which is exactly what
+ * makes re-execution after a mid-block misspeculation sound.
+ */
+
+#ifndef BITSPEC_ANALYSIS_LIVENESS_H_
+#define BITSPEC_ANALYSIS_LIVENESS_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace bitspec
+{
+
+/** Per-block live-in/live-out sets of Values (args + instructions). */
+class Liveness
+{
+  public:
+    /**
+     * @param f Function to analyse; renumber() is called on it.
+     * @param handler_edges Apply the SMIR predecessor rule (Eq. 2).
+     */
+    Liveness(Function &f, bool handler_edges);
+
+    const std::set<const Value *> &liveIn(const BasicBlock *bb) const;
+    const std::set<const Value *> &liveOut(const BasicBlock *bb) const;
+
+    bool
+    isLiveIn(const Value *v, const BasicBlock *bb) const
+    {
+        return liveIn(bb).count(v) > 0;
+    }
+
+  private:
+    std::map<const BasicBlock *, std::set<const Value *>> liveIn_;
+    std::map<const BasicBlock *, std::set<const Value *>> liveOut_;
+    std::set<const Value *> empty_;
+};
+
+} // namespace bitspec
+
+#endif // BITSPEC_ANALYSIS_LIVENESS_H_

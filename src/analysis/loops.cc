@@ -1,0 +1,67 @@
+#include "analysis/loops.h"
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/cfg.h"
+
+namespace bitspec
+{
+
+std::vector<BasicBlock *>
+Loop::exitTargets() const
+{
+    std::vector<BasicBlock *> out;
+    for (const BasicBlock *bb : blocks) {
+        for (BasicBlock *succ : bb->successors()) {
+            if (!contains(succ) &&
+                std::find(out.begin(), out.end(), succ) == out.end()) {
+                out.push_back(succ);
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<Loop>
+findLoops(Function &f, const DomTree &dt)
+{
+    std::map<BasicBlock *, Loop> by_header;
+
+    for (BasicBlock *bb : reachableBlocks(f)) {
+        for (BasicBlock *succ : bb->successors()) {
+            if (!dt.dominates(succ, bb))
+                continue; // Not a back edge.
+            // Natural loop of back edge bb -> succ.
+            Loop &loop = by_header[succ];
+            loop.header = succ;
+            loop.latches.push_back(bb);
+            if (loop.blocks.empty())
+                loop.blocks.push_back(succ);
+            // Walk predecessors from the latch up to the header.
+            std::vector<BasicBlock *> work{bb};
+            auto preds = f.predecessors();
+            while (!work.empty()) {
+                BasicBlock *cur = work.back();
+                work.pop_back();
+                if (loop.contains(cur))
+                    continue;
+                loop.blocks.push_back(cur);
+                for (BasicBlock *p : preds[cur])
+                    if (dt.isReachable(p))
+                        work.push_back(p);
+            }
+        }
+    }
+
+    std::vector<Loop> loops;
+    for (auto &[header, loop] : by_header)
+        loops.push_back(std::move(loop));
+    // Inner loops (fewer blocks) first so unrolling processes them first.
+    std::sort(loops.begin(), loops.end(), [](const Loop &a, const Loop &b) {
+        return a.blocks.size() < b.blocks.size();
+    });
+    return loops;
+}
+
+} // namespace bitspec

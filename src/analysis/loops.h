@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Natural-loop detection for the expander's unroller.
+ */
+
+#ifndef BITSPEC_ANALYSIS_LOOPS_H_
+#define BITSPEC_ANALYSIS_LOOPS_H_
+
+#include <set>
+#include <vector>
+
+#include "analysis/dominators.h"
+#include "ir/function.h"
+
+namespace bitspec
+{
+
+/** A natural loop: header plus body blocks (header included). */
+struct Loop
+{
+    BasicBlock *header = nullptr;
+    /** Blocks of the loop, header first. */
+    std::vector<BasicBlock *> blocks;
+    /** In-loop predecessors of the header (sources of back edges). */
+    std::vector<BasicBlock *> latches;
+
+    bool
+    contains(const BasicBlock *bb) const
+    {
+        for (const BasicBlock *b : blocks)
+            if (b == bb)
+                return true;
+        return false;
+    }
+
+    /** Blocks outside the loop that loop blocks branch to. */
+    std::vector<BasicBlock *> exitTargets() const;
+};
+
+/**
+ * Find all natural loops of @p f (one per header; back edges to the same
+ * header are merged). Inner loops are returned before enclosing ones.
+ */
+std::vector<Loop> findLoops(Function &f, const DomTree &dt);
+
+} // namespace bitspec
+
+#endif // BITSPEC_ANALYSIS_LOOPS_H_

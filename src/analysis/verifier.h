@@ -1,0 +1,37 @@
+/**
+ * @file
+ * IR verifier: structural SSA rules plus the Speculative IR rules of
+ * paper §3.1.1 and the Theorem 3.1 deadness guarantee.
+ */
+
+#ifndef BITSPEC_ANALYSIS_VERIFIER_H_
+#define BITSPEC_ANALYSIS_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace bitspec
+{
+
+/**
+ * Verify @p f; returns human-readable problems (empty means valid).
+ *
+ * Checks: terminator placement, phi placement and incoming-edge
+ * completeness, operand typing, SSA dominance, and when the function has
+ * speculative regions: handlers are not members, not branch targets, are
+ * unique per region, and no value defined inside a region is used by its
+ * handler (Theorem 3.1).
+ */
+std::vector<std::string> verifyFunction(Function &f);
+
+/** Verify every function of @p m. */
+std::vector<std::string> verifyModule(Module &m);
+
+/** Panic with a diagnostic if @p m fails verification. */
+void verifyOrDie(Module &m, const std::string &when);
+
+} // namespace bitspec
+
+#endif // BITSPEC_ANALYSIS_VERIFIER_H_

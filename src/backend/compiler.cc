@@ -1,0 +1,43 @@
+#include "backend/compiler.h"
+
+#include "backend/layout.h"
+#include "backend/regalloc.h"
+#include "support/error.h"
+
+namespace bitspec
+{
+
+CompiledProgram
+compileModule(Module &m, TargetISA isa)
+{
+    m.layoutGlobals();
+
+    std::map<const Function *, int> ids;
+    int next = 0;
+    for (const auto &f : m.functions())
+        ids[f.get()] = next++;
+
+    Function *main_fn = m.getFunction("main");
+    if (!main_fn)
+        fatal("compileModule: no main function");
+
+    CompiledProgram out;
+    std::vector<MachFunction> funcs;
+    for (const auto &f : m.functions()) {
+        MachFunction mf = selectFunction(*f, ids[f.get()], isa, ids);
+        BackendStats fs = allocateRegisters(mf);
+        out.stats.staticSpillLoads += fs.staticSpillLoads;
+        out.stats.staticSpillStores += fs.staticSpillStores;
+        out.stats.staticCopies += fs.staticCopies;
+        out.stats.spilledVRegs += fs.spilledVRegs;
+        out.stats.skeletonInsts += layoutFunction(mf);
+        funcs.push_back(std::move(mf));
+    }
+
+    out.program = linkProgram(std::move(funcs), ids[main_fn]);
+    out.stats.staticInsts =
+        static_cast<unsigned>(out.program.flat.size());
+    return out;
+}
+
+} // namespace bitspec

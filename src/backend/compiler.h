@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Backend facade: IR module -> linked machine program.
+ */
+
+#ifndef BITSPEC_BACKEND_COMPILER_H_
+#define BITSPEC_BACKEND_COMPILER_H_
+
+#include "backend/isel.h"
+#include "backend/mir.h"
+#include "ir/module.h"
+
+namespace bitspec
+{
+
+/** A linked program plus compile-time statistics. */
+struct CompiledProgram
+{
+    MachProgram program;
+    BackendStats stats;
+};
+
+/**
+ * Compile @p m for @p isa: instruction selection, register
+ * allocation (with slice packing on the BitSpec ISA), layout with
+ * skeleton blocks, and linking. The module must define "main".
+ * Globals receive their addresses (layoutGlobals) as a side effect.
+ */
+CompiledProgram compileModule(Module &m, TargetISA isa);
+
+} // namespace bitspec
+
+#endif // BITSPEC_BACKEND_COMPILER_H_

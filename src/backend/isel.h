@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Instruction selection: IR -> MIR (paper §3.3.1/§3.3.2).
+ *
+ * With the BitSpec ISA, i8 values select 8-bit slice operations
+ * (Table 1) and speculative IR instructions select the speculative
+ * variants. With the baseline ISA, i8 values live in full 32-bit
+ * registers and narrow arithmetic is emulated with masking — exactly
+ * the conventional ARM lowering the paper compares against.
+ */
+
+#ifndef BITSPEC_BACKEND_ISEL_H_
+#define BITSPEC_BACKEND_ISEL_H_
+
+#include "backend/mir.h"
+#include "ir/module.h"
+
+namespace bitspec
+{
+
+/** Target ISA flavour. */
+enum class TargetISA
+{
+    Baseline, ///< Conventional ARM-class: 32-bit register access only.
+    BitSpec,  ///< With Table-1 slice/speculative extensions.
+    /** Thumb-like compact ISA (paper RQ9): two-address ALU ops and
+     *  only r4..r7 allocatable, costing extra moves and spills. */
+    Thumb,
+};
+
+/** Select instructions for @p f into a fresh MachFunction.
+ *  Critical edges of @p f are split in the process. */
+MachFunction selectFunction(Function &f, int func_id, TargetISA isa,
+                            const std::map<const Function *, int> &ids);
+
+} // namespace bitspec
+
+#endif // BITSPEC_BACKEND_ISEL_H_

@@ -1,0 +1,391 @@
+#include "backend/layout.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/error.h"
+
+namespace bitspec
+{
+
+namespace
+{
+
+constexpr int64_t kImmMax = 511; ///< Encodable ALU/memory immediate.
+
+/** Insert frame setup into the entry block and teardown before every
+ *  BXLR. Registers are callee-saved; LR saved when the function
+ *  calls. */
+void
+insertFrameCode(MachFunction &mf)
+{
+    unsigned save_regs = static_cast<unsigned>(
+        mf.usedCalleeSaved.size());
+    unsigned save_lr = mf.hasCalls ? 1 : 0;
+    unsigned frame_bytes =
+        (mf.spillSlots + save_regs + save_lr) * 4;
+    if (frame_bytes == 0 && mf.blocks.empty())
+        return;
+
+    auto mk = [&](MOp op, MOpnd d, MOpnd a, MOpnd b) {
+        MachInst i;
+        i.op = op;
+        i.dst = d;
+        i.a = a;
+        i.b = b;
+        i.tag = InstTag::FrameSetup;
+        return i;
+    };
+
+    std::vector<MachInst> pro;
+    if (frame_bytes > 0) {
+        pro.push_back(mk(MOp::SUB, MOpnd::makeReg(kRegSP),
+                         MOpnd::makeReg(kRegSP),
+                         MOpnd::makeImm(frame_bytes)));
+        unsigned off = mf.spillSlots * 4;
+        for (unsigned r : mf.usedCalleeSaved) {
+            pro.push_back(mk(MOp::STR, MOpnd::makeReg(r),
+                             MOpnd::makeReg(kRegSP),
+                             MOpnd::makeImm(off)));
+            off += 4;
+        }
+        if (save_lr) {
+            pro.push_back(mk(MOp::STR, MOpnd::makeReg(kRegLR),
+                             MOpnd::makeReg(kRegSP),
+                             MOpnd::makeImm(off)));
+        }
+    }
+
+    // Epilogue before each BXLR.
+    for (auto &mb : mf.blocks) {
+        std::vector<MachInst> out;
+        for (MachInst &inst : mb.insts) {
+            if (inst.op == MOp::BXLR && frame_bytes > 0) {
+                unsigned off = mf.spillSlots * 4;
+                for (unsigned r : mf.usedCalleeSaved) {
+                    out.push_back(mk(MOp::LDR, MOpnd::makeReg(r),
+                                     MOpnd::makeReg(kRegSP),
+                                     MOpnd::makeImm(off)));
+                    off += 4;
+                }
+                if (save_lr) {
+                    out.push_back(mk(MOp::LDR, MOpnd::makeReg(kRegLR),
+                                     MOpnd::makeReg(kRegSP),
+                                     MOpnd::makeImm(off)));
+                }
+                out.push_back(mk(MOp::ADD, MOpnd::makeReg(kRegSP),
+                                 MOpnd::makeReg(kRegSP),
+                                 MOpnd::makeImm(frame_bytes)));
+            }
+            out.push_back(inst);
+        }
+        mb.insts = std::move(out);
+    }
+
+    // Prologue at the top of the entry block.
+    auto &entry = mf.blocks.front().insts;
+    entry.insert(entry.begin(), pro.begin(), pro.end());
+}
+
+/** Rewrite out-of-range immediates through the r12 scratch. */
+void
+legalizeImmediates(MachFunction &mf)
+{
+    auto needs_fix = [](const MachInst &inst) {
+        if (!inst.b.isImm())
+            return false;
+        switch (inst.op) {
+          case MOp::MOVW: case MOp::MOVT: case MOp::SETDELTA:
+          case MOp::MODE: case MOp::B: case MOp::BL:
+            return false;
+          default:
+            return inst.b.imm < 0 || inst.b.imm > kImmMax;
+        }
+    };
+    auto needs_fix_a = [](const MachInst &inst) {
+        // MOV/MOV8/OUT-style single-source immediates.
+        if (!inst.a.isImm())
+            return false;
+        if (inst.op == MOp::MOVW || inst.op == MOp::MOVT ||
+            inst.op == MOp::SETDELTA || inst.op == MOp::MODE) {
+            return false;
+        }
+        if (inst.op == MOp::MOV8)
+            return inst.a.imm < 0 || inst.a.imm > 255;
+        return inst.a.imm < 0 || inst.a.imm > kImmMax;
+    };
+
+    for (auto &mb : mf.blocks) {
+        std::vector<MachInst> out;
+        for (MachInst inst : mb.insts) {
+            auto materialize = [&](MOpnd &o) {
+                auto v = static_cast<uint32_t>(o.imm);
+                MachInst w;
+                w.op = MOp::MOVW;
+                w.dst = MOpnd::makeReg(kScratchAddr);
+                w.a = MOpnd::makeImm(v & 0xffff);
+                out.push_back(w);
+                if (v >> 16) {
+                    MachInst t;
+                    t.op = MOp::MOVT;
+                    t.dst = MOpnd::makeReg(kScratchAddr);
+                    t.a = MOpnd::makeImm(v >> 16);
+                    out.push_back(t);
+                }
+                o = MOpnd::makeReg(kScratchAddr);
+            };
+            if (needs_fix(inst))
+                materialize(inst.b);
+            if (needs_fix_a(inst))
+                materialize(inst.a);
+            out.push_back(inst);
+        }
+        mb.insts = std::move(out);
+    }
+}
+
+} // namespace
+
+namespace
+{
+
+/** Thumb-like two-address form: ALU ops write their first source
+ *  register; a move is inserted when the destination differs. */
+void
+enforceTwoAddress(MachFunction &mf)
+{
+    auto is_alu3 = [](MOp op) {
+        switch (op) {
+          case MOp::ADD: case MOp::SUB: case MOp::MUL:
+          case MOp::AND: case MOp::ORR: case MOp::EOR:
+          case MOp::LSL: case MOp::LSR: case MOp::ASR:
+          case MOp::UDIV: case MOp::SDIV:
+            return true;
+          default:
+            return false;
+        }
+    };
+    for (auto &mb : mf.blocks) {
+        std::vector<MachInst> out;
+        for (MachInst inst : mb.insts) {
+            if (is_alu3(inst.op) && inst.dst.isReg() &&
+                inst.a.isReg() && inst.dst.reg != inst.a.reg) {
+                // Second source aliasing the destination must be
+                // saved first.
+                if (inst.b.isReg() && inst.b.reg == inst.dst.reg) {
+                    MachInst sv;
+                    sv.op = MOp::MOV;
+                    sv.dst = MOpnd::makeReg(kScratchAddr);
+                    sv.a = inst.b;
+                    sv.tag = InstTag::Copy;
+                    out.push_back(sv);
+                    inst.b = MOpnd::makeReg(kScratchAddr);
+                }
+                MachInst mv;
+                mv.op = MOp::MOV;
+                mv.dst = inst.dst;
+                mv.a = inst.a;
+                mv.tag = InstTag::Copy;
+                out.push_back(mv);
+                inst.a = inst.dst;
+            }
+            out.push_back(inst);
+        }
+        mb.insts = std::move(out);
+    }
+}
+
+} // namespace
+
+unsigned
+layoutFunction(MachFunction &mf)
+{
+    if (mf.twoAddress)
+        enforceTwoAddress(mf);
+    insertFrameCode(mf);
+    legalizeImmediates(mf);
+
+    // Functions with speculative regions load Δ at entry (placeholder
+    // patched below, once the speculative area size is known).
+    bool any_region = false;
+    for (auto &mb : mf.blocks)
+        any_region |= mb.handlerBlock >= 0;
+    if (any_region) {
+        MachInst sd;
+        sd.op = MOp::SETDELTA;
+        sd.a = MOpnd::makeImm(0);
+        sd.tag = InstTag::FrameSetup;
+        sd.target = -2;
+        auto &entry = mf.blocks.front().insts;
+        entry.insert(entry.begin(), sd);
+    }
+
+    // Block order: speculative-region blocks first (contiguously),
+    // then everything else; skeletons sit between the two areas.
+    std::vector<int> region_blocks, other_blocks;
+    for (auto &mb : mf.blocks) {
+        if (mb.handlerBlock >= 0)
+            region_blocks.push_back(mb.id);
+        else
+            other_blocks.push_back(mb.id);
+    }
+
+    mf.code.clear();
+    mf.blockIndex.clear();
+
+    // Fall-through elision: an unconditional branch to the next block
+    // in layout order is dead weight (CFG preparation splits blocks
+    // aggressively, so this matters a lot for the speculative area).
+    auto emit_area = [&](const std::vector<int> &ids) {
+        for (size_t k = 0; k < ids.size(); ++k) {
+            int id = ids[k];
+            mf.blockIndex[id] = static_cast<uint32_t>(mf.code.size());
+            auto &insts = mf.blocks[id].insts;
+            for (size_t j = 0; j < insts.size(); ++j) {
+                const MachInst &inst = insts[j];
+                bool last = j + 1 == insts.size();
+                if (last && inst.op == MOp::B &&
+                    inst.cond == Cond::AL && k + 1 < ids.size() &&
+                    inst.target == ids[k + 1]) {
+                    continue; // Falls through.
+                }
+                mf.code.push_back(inst);
+            }
+        }
+    };
+
+    emit_area(region_blocks);
+    uint32_t spec_insts = static_cast<uint32_t>(mf.code.size());
+    mf.delta = spec_insts * kInstBytes;
+
+    // Skeleton area: slot i serves the speculative-area instruction i.
+    unsigned skeletons = 0;
+    {
+        uint32_t idx = 0;
+        for (int id : region_blocks) {
+            for (size_t k = 0; k < mf.blocks[id].insts.size(); ++k) {
+                MachInst sk;
+                sk.op = MOp::B;
+                sk.tag = InstTag::Skeleton;
+                sk.target = mf.blocks[id].handlerBlock;
+                mf.code.push_back(sk);
+                ++skeletons;
+                ++idx;
+            }
+        }
+        (void)idx;
+    }
+
+    // Chain the non-speculative area greedily along unconditional
+    // branches so elision fires as often as possible.
+    {
+        std::set<int> in_other(other_blocks.begin(),
+                               other_blocks.end());
+        std::set<int> placed;
+        std::vector<int> chained;
+        for (int seed : other_blocks) {
+            int cur = seed;
+            while (cur >= 0 && !placed.count(cur)) {
+                placed.insert(cur);
+                chained.push_back(cur);
+                const auto &insts = mf.blocks[cur].insts;
+                int next = -1;
+                if (!insts.empty() && insts.back().op == MOp::B &&
+                    insts.back().cond == Cond::AL &&
+                    in_other.count(insts.back().target) &&
+                    !placed.count(insts.back().target)) {
+                    next = insts.back().target;
+                }
+                cur = next;
+            }
+        }
+        other_blocks = std::move(chained);
+    }
+
+    emit_area(other_blocks);
+
+    mf.entryIndex = mf.blockIndex.at(0);
+
+    // Patch SETDELTA placeholders (entry + post-call restores).
+    for (auto &inst : mf.code) {
+        if (inst.op == MOp::SETDELTA && inst.target == -2) {
+            inst.a = MOpnd::makeImm(mf.delta);
+            inst.target = -1;
+        }
+    }
+
+    // Resolve local branch targets (block id -> code index).
+    for (auto &inst : mf.code) {
+        if (inst.op == MOp::B) {
+            bsAssert(inst.target >= 0, "unresolved branch");
+            inst.target =
+                static_cast<int>(mf.blockIndex.at(inst.target));
+        }
+    }
+    return skeletons;
+}
+
+MachProgram
+linkProgram(std::vector<MachFunction> funcs, int entry_func)
+{
+    MachProgram prog;
+    prog.entryFunc = entry_func;
+
+    // _start stub: sp = kStackTop; lr = HALT sentinel; call main; HALT.
+    std::vector<MachInst> stub;
+    {
+        MachInst w;
+        w.op = MOp::MOVW;
+        w.dst = MOpnd::makeReg(kRegSP);
+        w.a = MOpnd::makeImm(MachProgram::kStackTop & 0xffff);
+        stub.push_back(w);
+        MachInst t;
+        t.op = MOp::MOVT;
+        t.dst = MOpnd::makeReg(kRegSP);
+        t.a = MOpnd::makeImm(MachProgram::kStackTop >> 16);
+        stub.push_back(t);
+        MachInst bl;
+        bl.op = MOp::BL;
+        bl.target = entry_func;
+        stub.push_back(bl);
+        MachInst h;
+        h.op = MOp::HALT;
+        stub.push_back(h);
+    }
+
+    // Assign flat offsets.
+    uint32_t offset = static_cast<uint32_t>(stub.size());
+    std::map<int, uint32_t> func_entry; // func id -> flat entry index.
+    std::map<int, uint32_t> func_base;
+    for (auto &mf : funcs) {
+        func_base[mf.id] = offset;
+        func_entry[mf.id] = offset + mf.entryIndex;
+        mf.baseAddr = MachProgram::kCodeBase + offset * kInstBytes;
+        offset += static_cast<uint32_t>(mf.code.size());
+    }
+
+    // Emit, rebasing local targets and resolving calls.
+    for (auto &inst : stub) {
+        if (inst.op == MOp::BL)
+            inst.target = static_cast<int>(func_entry.at(inst.target));
+        prog.flat.push_back(inst);
+        prog.funcOfIndex.push_back(0);
+    }
+    for (auto &mf : funcs) {
+        uint32_t base = func_base[mf.id];
+        for (MachInst inst : mf.code) {
+            if (inst.op == MOp::B)
+                inst.target += static_cast<int>(base);
+            else if (inst.op == MOp::BL)
+                inst.target =
+                    static_cast<int>(func_entry.at(inst.target));
+            prog.flat.push_back(inst);
+            prog.funcOfIndex.push_back(static_cast<uint32_t>(mf.id));
+        }
+    }
+    prog.funcs = std::move(funcs);
+    return prog;
+}
+
+} // namespace bitspec

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Code layout (paper §3.3.4): prologue/epilogue insertion, immediate
+ * legalisation, region-contiguous block placement, skeleton-block
+ * generation and Δ computation, branch resolution and program
+ * linking.
+ *
+ * Every instruction of the contiguous speculative-region area gets a
+ * skeleton slot at +Δ holding a branch to its region's handler, so
+ * the hardware's PC += Δ redirect lands on the right landing pad for
+ * any misspeculating instruction.
+ */
+
+#ifndef BITSPEC_BACKEND_LAYOUT_H_
+#define BITSPEC_BACKEND_LAYOUT_H_
+
+#include "backend/mir.h"
+
+namespace bitspec
+{
+
+/** Lay out one function: frame code, legal immediates, block order,
+ *  skeletons, local branch resolution. Returns skeleton count. */
+unsigned layoutFunction(MachFunction &mf);
+
+/**
+ * Link laid-out functions into one program: assign addresses, resolve
+ * BL targets and produce the flat instruction stream, prefixed with a
+ * _start stub (stack setup, call main, HALT).
+ */
+MachProgram linkProgram(std::vector<MachFunction> funcs, int entry_func);
+
+} // namespace bitspec
+
+#endif // BITSPEC_BACKEND_LAYOUT_H_

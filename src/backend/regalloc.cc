@@ -1,0 +1,473 @@
+#include "backend/regalloc.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "support/error.h"
+
+namespace bitspec
+{
+
+namespace
+{
+
+/** A live interval as a set of disjoint [start, end] segments.
+ *
+ * Segments (rather than one [min, max] range) matter enormously for
+ * BitSpec: values live into a misspeculation handler are used again
+ * in the cold CFG_orig clone, and a single-range allocator would
+ * stretch them across every hot loop in between, spilling the world.
+ */
+struct Interval
+{
+    uint32_t vreg = 0;
+    bool isSlice = false;
+    int start = 0; ///< First segment start (sort key).
+    std::vector<std::pair<int, int>> segs; ///< Sorted, disjoint.
+    int assignedReg = -1;
+    int assignedSlice = -1;
+    bool spilled = false;
+    unsigned slot = 0;
+
+    bool
+    overlaps(const std::vector<std::pair<int, int>> &other) const
+    {
+        size_t i = 0, j = 0;
+        while (i < segs.size() && j < other.size()) {
+            if (segs[i].second < other[j].first)
+                ++i;
+            else if (other[j].second < segs[i].first)
+                ++j;
+            else
+                return true;
+        }
+        return false;
+    }
+
+    int
+    end() const
+    {
+        return segs.empty() ? start : segs.back().second;
+    }
+};
+
+/** Busy segments assigned to one physical slot. */
+struct SlotBusy
+{
+    std::vector<std::pair<int, int>> segs; ///< Sorted by start.
+
+    bool
+    conflicts(const Interval &iv) const
+    {
+        return iv.overlaps(segs);
+    }
+
+    void
+    add(const Interval &iv)
+    {
+        segs.insert(segs.end(), iv.segs.begin(), iv.segs.end());
+        std::sort(segs.begin(), segs.end());
+    }
+};
+
+class Allocator
+{
+  public:
+    explicit Allocator(MachFunction &mf)
+        : mf_(mf), lastAlloc_(mf.lastAllocReg)
+    {
+        unsigned nregs = lastAlloc_ - kFirstAlloc + 1;
+        wholeBusy_.resize(nregs);
+        sliceBusy_.resize(nregs * 4);
+    }
+
+    BackendStats
+    run()
+    {
+        numberInstructions();
+        computeLiveness();
+        buildIntervals();
+        scan();
+        rewrite();
+        collectStats();
+        return stats_;
+    }
+
+  private:
+    template <typename Fn>
+    static void
+    forEachVReg(MachInst &inst, Fn fn)
+    {
+        bool dst_is_use = inst.op == MOp::STR || inst.op == MOp::STRH ||
+                          inst.op == MOp::STRB || inst.op == MOp::STRB8;
+        bool dst_also_use =
+            ((inst.op == MOp::MOV || inst.op == MOp::MOV8) &&
+             inst.cond != Cond::AL) ||
+            inst.op == MOp::MOVT;
+        if (inst.dst.isVReg())
+            fn(inst.dst, !dst_is_use, dst_is_use || dst_also_use);
+        if (inst.a.isVReg())
+            fn(inst.a, false, true);
+        if (inst.b.isVReg())
+            fn(inst.b, false, true);
+    }
+
+    void
+    numberInstructions()
+    {
+        int pos = 0;
+        for (auto &mb : mf_.blocks) {
+            blockStart_[mb.id] = pos;
+            pos += static_cast<int>(mb.insts.size());
+            blockEnd_[mb.id] = pos; // One past the last.
+        }
+    }
+
+    void
+    computeLiveness()
+    {
+        std::map<int, std::set<uint32_t>> use, def;
+        for (auto &mb : mf_.blocks) {
+            auto &u = use[mb.id];
+            auto &d = def[mb.id];
+            for (auto &inst : mb.insts) {
+                forEachVReg(inst,
+                            [&](MOpnd &o, bool is_def, bool is_use) {
+                                if (is_use && !d.count(o.vreg))
+                                    u.insert(o.vreg);
+                                if (is_def)
+                                    d.insert(o.vreg);
+                            });
+            }
+        }
+
+        // Successors including SMIR handler edges (Eq. 2).
+        std::map<int, std::vector<int>> succs;
+        for (auto &mb : mf_.blocks) {
+            succs[mb.id] = mb.successors();
+            if (mb.handlerBlock >= 0)
+                succs[mb.id].push_back(mb.handlerBlock);
+        }
+
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (auto it = mf_.blocks.rbegin();
+                 it != mf_.blocks.rend(); ++it) {
+                std::set<uint32_t> out;
+                for (int s : succs[it->id])
+                    for (uint32_t v : liveIn_[s])
+                        out.insert(v);
+                std::set<uint32_t> in = use[it->id];
+                for (uint32_t v : out)
+                    if (!def[it->id].count(v))
+                        in.insert(v);
+                if (out != liveOut_[it->id] ||
+                    in != liveIn_[it->id]) {
+                    liveOut_[it->id] = std::move(out);
+                    liveIn_[it->id] = std::move(in);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    void
+    buildIntervals()
+    {
+        // Per-vreg raw segments (one per block where live/occurring),
+        // merged afterwards.
+        std::map<uint32_t, std::vector<std::pair<int, int>>> raw;
+
+        for (auto &mb : mf_.blocks) {
+            // First/last occurrence positions within the block.
+            std::map<uint32_t, std::pair<int, int>> occur;
+            int pos = blockStart_[mb.id];
+            for (auto &inst : mb.insts) {
+                forEachVReg(inst, [&](MOpnd &o, bool, bool) {
+                    auto [it, fresh] =
+                        occur.try_emplace(o.vreg,
+                                          std::make_pair(pos, pos));
+                    if (!fresh)
+                        it->second.second = pos;
+                });
+                ++pos;
+            }
+            int bs = blockStart_[mb.id];
+            int be = blockEnd_[mb.id] - 1;
+            std::set<uint32_t> touched;
+            for (auto &[vreg, fl] : occur) {
+                int s = liveIn_[mb.id].count(vreg) ? bs : fl.first;
+                int e = liveOut_[mb.id].count(vreg) ? be : fl.second;
+                raw[vreg].emplace_back(s, e);
+                touched.insert(vreg);
+            }
+            // Live-through without occurrence.
+            for (uint32_t v : liveIn_[mb.id]) {
+                if (!touched.count(v) && liveOut_[mb.id].count(v))
+                    raw[v].emplace_back(bs, be);
+            }
+        }
+
+        for (auto &[vreg, segs] : raw) {
+            std::sort(segs.begin(), segs.end());
+            Interval iv;
+            iv.vreg = vreg;
+            iv.isSlice = mf_.vregIsSlice[vreg];
+            for (auto &[s, e] : segs) {
+                if (!iv.segs.empty() && s <= iv.segs.back().second + 1)
+                    iv.segs.back().second =
+                        std::max(iv.segs.back().second, e);
+                else
+                    iv.segs.emplace_back(s, e);
+            }
+            iv.start = iv.segs.front().first;
+            intervals_.push_back(std::move(iv));
+        }
+        std::sort(intervals_.begin(), intervals_.end(),
+                  [](const Interval &a, const Interval &b) {
+                      return a.start < b.start;
+                  });
+    }
+
+    unsigned numRegs() const { return lastAlloc_ - kFirstAlloc + 1; }
+
+    void
+    scan()
+    {
+        for (Interval &iv : intervals_) {
+            if (iv.isSlice)
+                allocSlice(iv);
+            else
+                allocWhole(iv);
+        }
+    }
+
+    /** A whole register is usable when neither its whole-reg busy set
+     *  nor any of its slice busy sets conflict. */
+    void
+    allocWhole(Interval &iv)
+    {
+        for (unsigned r = 0; r < numRegs(); ++r) {
+            if (wholeBusy_[r].conflicts(iv))
+                continue;
+            bool slice_conflict = false;
+            for (unsigned s = 0; s < 4; ++s)
+                slice_conflict |= sliceBusy_[r * 4 + s].conflicts(iv);
+            if (slice_conflict)
+                continue;
+            wholeBusy_[r].add(iv);
+            iv.assignedReg = static_cast<int>(kFirstAlloc + r);
+            return;
+        }
+        spill(iv);
+    }
+
+    /** A slice is usable when its own busy set and the enclosing
+     *  register's whole-reg busy set are both clear. Prefer packing
+     *  into registers that already hold slices. */
+    void
+    allocSlice(Interval &iv)
+    {
+        int best_r = -1, best_s = -1;
+        size_t best_used = 0;
+        for (unsigned r = 0; r < numRegs(); ++r) {
+            if (wholeBusy_[r].conflicts(iv))
+                continue;
+            for (unsigned s = 0; s < 4; ++s) {
+                if (sliceBusy_[r * 4 + s].conflicts(iv))
+                    continue;
+                size_t used = sliceBusy_[r * 4].segs.size() +
+                              sliceBusy_[r * 4 + 1].segs.size() +
+                              sliceBusy_[r * 4 + 2].segs.size() +
+                              sliceBusy_[r * 4 + 3].segs.size();
+                if (best_r < 0 || used > best_used) {
+                    best_r = static_cast<int>(r);
+                    best_s = static_cast<int>(s);
+                    best_used = used;
+                }
+                break;
+            }
+        }
+        if (best_r >= 0) {
+            sliceBusy_[best_r * 4 + best_s].add(iv);
+            iv.assignedReg = static_cast<int>(kFirstAlloc + best_r);
+            iv.assignedSlice = best_s;
+            return;
+        }
+        spill(iv);
+    }
+
+    void
+    spill(Interval &iv)
+    {
+        iv.spilled = true;
+        iv.assignedReg = -1;
+        iv.slot = mf_.spillSlots++;
+        ++stats_.spilledVRegs;
+    }
+
+    // ---------------- Rewrite ----------------
+
+    MOpnd
+    physOpnd(const Interval &iv) const
+    {
+        if (iv.isSlice)
+            return MOpnd::makeSlice(
+                static_cast<unsigned>(iv.assignedReg),
+                static_cast<unsigned>(iv.assignedSlice));
+        return MOpnd::makeReg(static_cast<unsigned>(iv.assignedReg));
+    }
+
+    static MOpnd
+    slotOffset(unsigned slot)
+    {
+        return MOpnd::makeImm(static_cast<int64_t>(slot) * 4);
+    }
+
+    void
+    rewrite()
+    {
+        std::map<uint32_t, Interval *> iv_of;
+        for (Interval &iv : intervals_)
+            iv_of[iv.vreg] = &iv;
+
+        for (auto &mb : mf_.blocks) {
+            std::vector<MachInst> out;
+            out.reserve(mb.insts.size());
+            for (MachInst inst : mb.insts) {
+                // Fold spills straight into physical-register moves
+                // (argument setup / return values): using a scratch
+                // there would clobber previously placed arguments.
+                if (inst.op == MOp::MOV && inst.cond == Cond::AL &&
+                    inst.dst.isReg() && inst.a.isVReg()) {
+                    Interval *iv = iv_of.at(inst.a.vreg);
+                    if (iv->spilled && !iv->isSlice) {
+                        MachInst ld;
+                        ld.op = MOp::LDR;
+                        ld.dst = inst.dst;
+                        ld.a = MOpnd::makeReg(kRegSP);
+                        ld.b = slotOffset(iv->slot);
+                        ld.tag = InstTag::SpillLoad;
+                        out.push_back(ld);
+                        continue;
+                    }
+                }
+                if (inst.op == MOp::MOV && inst.cond == Cond::AL &&
+                    inst.dst.isVReg() && inst.a.isReg()) {
+                    Interval *iv = iv_of.at(inst.dst.vreg);
+                    if (iv->spilled && !iv->isSlice) {
+                        MachInst st;
+                        st.op = MOp::STR;
+                        st.dst = inst.a;
+                        st.a = MOpnd::makeReg(kRegSP);
+                        st.b = slotOffset(iv->slot);
+                        st.tag = InstTag::SpillStore;
+                        out.push_back(st);
+                        continue;
+                    }
+                }
+
+                std::vector<MachInst> loads, stores;
+                auto fix = [&](MOpnd &o, bool is_def, bool is_use,
+                               unsigned scratch) {
+                    Interval *iv = iv_of.at(o.vreg);
+                    if (!iv->spilled) {
+                        o = physOpnd(*iv);
+                        return;
+                    }
+                    MOpnd loc = iv->isSlice
+                                    ? MOpnd::makeSlice(scratch, 0)
+                                    : MOpnd::makeReg(scratch);
+                    if (is_use) {
+                        MachInst ld;
+                        ld.op = iv->isSlice ? MOp::LDRB8 : MOp::LDR;
+                        ld.dst = loc;
+                        ld.a = MOpnd::makeReg(kRegSP);
+                        ld.b = slotOffset(iv->slot);
+                        ld.tag = InstTag::SpillLoad;
+                        loads.push_back(ld);
+                    }
+                    if (is_def) {
+                        MachInst st;
+                        st.op = iv->isSlice ? MOp::STRB8 : MOp::STR;
+                        st.dst = loc;
+                        st.a = MOpnd::makeReg(kRegSP);
+                        st.b = slotOffset(iv->slot);
+                        st.tag = InstTag::SpillStore;
+                        stores.push_back(st);
+                    }
+                    o = loc;
+                };
+
+                unsigned scratch = kScratch0;
+                if (inst.a.isVReg())
+                    fix(inst.a, false, true, scratch++);
+                if (inst.b.isVReg())
+                    fix(inst.b, false, true, scratch++);
+                if (inst.dst.isVReg()) {
+                    bool dst_is_use =
+                        inst.op == MOp::STR || inst.op == MOp::STRH ||
+                        inst.op == MOp::STRB || inst.op == MOp::STRB8;
+                    bool dst_also_use =
+                        ((inst.op == MOp::MOV ||
+                          inst.op == MOp::MOV8) &&
+                         inst.cond != Cond::AL) ||
+                        inst.op == MOp::MOVT;
+                    fix(inst.dst, !dst_is_use,
+                        dst_is_use || dst_also_use, kScratch3);
+                }
+
+                for (auto &ld : loads)
+                    out.push_back(ld);
+                out.push_back(inst);
+                for (auto &st : stores)
+                    out.push_back(st);
+            }
+            mb.insts = std::move(out);
+        }
+
+        std::set<unsigned> used;
+        for (Interval &iv : intervals_)
+            if (!iv.spilled)
+                used.insert(static_cast<unsigned>(iv.assignedReg));
+        mf_.usedCalleeSaved.assign(used.begin(), used.end());
+    }
+
+    void
+    collectStats()
+    {
+        for (auto &mb : mf_.blocks) {
+            for (auto &inst : mb.insts) {
+                ++stats_.staticInsts;
+                if (inst.tag == InstTag::SpillLoad)
+                    ++stats_.staticSpillLoads;
+                else if (inst.tag == InstTag::SpillStore)
+                    ++stats_.staticSpillStores;
+                else if (inst.tag == InstTag::Copy)
+                    ++stats_.staticCopies;
+            }
+        }
+    }
+
+    MachFunction &mf_;
+    unsigned lastAlloc_;
+    BackendStats stats_;
+    std::map<int, int> blockStart_, blockEnd_;
+    std::map<int, std::set<uint32_t>> liveIn_, liveOut_;
+    std::vector<Interval> intervals_;
+    std::vector<SlotBusy> wholeBusy_;  ///< Per register.
+    std::vector<SlotBusy> sliceBusy_;  ///< Per register x 4 slices.
+};
+
+} // namespace
+
+BackendStats
+allocateRegisters(MachFunction &mf)
+{
+    return Allocator(mf).run();
+}
+
+} // namespace bitspec

@@ -1,0 +1,129 @@
+#include "core/system.h"
+
+#include "analysis/verifier.h"
+#include "frontend/irgen.h"
+#include "interp/interpreter.h"
+#include "profile/bitwidth_profile.h"
+
+namespace bitspec
+{
+
+SystemConfig
+SystemConfig::baseline()
+{
+    SystemConfig c;
+    c.isa = TargetISA::Baseline;
+    c.squeeze = false;
+    return c;
+}
+
+SystemConfig
+SystemConfig::bitspec(Heuristic h)
+{
+    SystemConfig c;
+    c.isa = TargetISA::BitSpec;
+    c.squeeze = true;
+    c.squeezeOpts.heuristic = h;
+    return c;
+}
+
+SystemConfig
+SystemConfig::noSpeculation()
+{
+    SystemConfig c;
+    c.isa = TargetISA::BitSpec;
+    c.squeeze = true;
+    c.squeezeOpts.speculate = false;
+    return c;
+}
+
+SystemConfig
+SystemConfig::dtsOnly()
+{
+    SystemConfig c = baseline();
+    c.dts = true;
+    return c;
+}
+
+SystemConfig
+SystemConfig::dtsPlusBitspec(Heuristic h)
+{
+    SystemConfig c = bitspec(h);
+    c.dts = true;
+    return c;
+}
+
+System::System(const std::string &source, const SystemConfig &config,
+               const std::function<void(Module &)> &train_input,
+               const std::vector<uint64_t> &train_args)
+    : config_(config)
+{
+    module_ = compileSource(source);
+    if (train_input)
+        train_input(*module_);
+
+    expandStats_ = expandModule(*module_, config_.expander);
+
+    if (config_.squeeze) {
+        BitwidthProfile profile;
+        {
+            // Profiling interpreter counts dynamic IR instructions of
+            // the training input as a side product.
+            Interpreter interp(*module_);
+            interp.onAssign = [](const Instruction *, uint64_t) {};
+            // (profileRun creates its own interpreter; run here only
+            // to record the step count.)
+            interp.run("main", train_args);
+            trainIrSteps_ = interp.stats().steps;
+        }
+        profile.profileRun(*module_, "main", train_args);
+        squeezeStats_ =
+            squeezeModule(*module_, profile, config_.squeezeOpts);
+    } else {
+        Interpreter interp(*module_);
+        interp.run("main", train_args);
+        trainIrSteps_ = interp.stats().steps;
+    }
+
+    compiled_ = compileModule(*module_, config_.isa);
+}
+
+RunResult
+System::run(const std::function<void(Module &)> &run_input,
+            const std::vector<uint32_t> &args)
+{
+    if (run_input)
+        run_input(*module_);
+
+    Core core(compiled_.program, *module_);
+    RunResult out;
+    out.returnValue = core.run(args);
+    out.outputChecksum = core.outputChecksum();
+    out.counters = core.counters();
+    out.l1i = core.memory().l1i();
+    out.l1d = core.memory().l1d();
+    out.l2 = core.memory().l2();
+    out.dram = core.memory().dram();
+
+    out.energy = computeEnergy(core, config_.energy);
+    if (config_.dts) {
+        DtsResult d =
+            applyDts(out.energy, out.counters, config_.dtsParams);
+        out.totalEnergy = d.scaledEnergy;
+        out.meanVoltage = d.meanVoltage;
+    } else {
+        out.totalEnergy = out.energy.total();
+        out.meanVoltage = config_.dtsParams.vNominal;
+    }
+    out.epi = out.counters.instructions
+                  ? out.totalEnergy /
+                        static_cast<double>(out.counters.instructions)
+                  : 0.0;
+
+    out.squeezeStats = squeezeStats_;
+    out.expandStats = expandStats_;
+    out.backendStats = compiled_.stats;
+    return out;
+}
+
+} // namespace bitspec

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * End-to-end BitSpec system facade: source -> expander -> profiler ->
+ * squeezer -> backend -> core model -> energy, mirroring the paper's
+ * experiment configurations (§A.7): architecture (baseline/bitspec),
+ * compiler (baseline / bitwidth_speculation / no-speculation),
+ * middle-end heuristic (2cfg-{max,avg,min}), expander on/off, and
+ * DTS voltage scaling.
+ */
+
+#ifndef BITSPEC_CORE_SYSTEM_H_
+#define BITSPEC_CORE_SYSTEM_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "backend/compiler.h"
+#include "energy/dts.h"
+#include "energy/model.h"
+#include "transform/expander.h"
+#include "transform/squeezer.h"
+#include "uarch/core.h"
+
+namespace bitspec
+{
+
+/** One experiment configuration (paper §A.7 YAML equivalent). */
+struct SystemConfig
+{
+    /** Architecture / ISA. */
+    TargetISA isa = TargetISA::BitSpec;
+    /** Apply the squeezer at all (false = baseline compiler). */
+    bool squeeze = true;
+    /** Squeezer options (speculate=false is the RQ2 variant). */
+    SqueezeOptions squeezeOpts;
+    /** Expander options (enabled=false is the RQ4 ablation). */
+    ExpanderOptions expander;
+    /** Apply the DTS voltage-scaling model (RQ8). */
+    bool dts = false;
+    DtsParams dtsParams;
+    /** Energy model parameters. */
+    EnergyParams energy;
+
+    /** Canonical configurations. */
+    static SystemConfig baseline();
+    static SystemConfig bitspec(Heuristic h = Heuristic::Max);
+    static SystemConfig noSpeculation();
+    static SystemConfig dtsOnly();
+    static SystemConfig dtsPlusBitspec(Heuristic h = Heuristic::Max);
+};
+
+/** All measurements from one compiled-and-simulated run. */
+struct RunResult
+{
+    uint32_t returnValue = 0;
+    uint64_t outputChecksum = 0;
+
+    ActivityCounters counters;
+    CacheStats l1i, l1d, l2;
+    DramStats dram;
+
+    EnergyBreakdown energy;
+    double totalEnergy = 0;   ///< pJ; DTS-scaled when dts is on.
+    double epi = 0;           ///< pJ per instruction.
+    double meanVoltage = 0;   ///< Volts (1.2 without DTS).
+
+    SqueezeStats squeezeStats;
+    ExpandStats expandStats;
+    BackendStats backendStats;
+};
+
+/** A compiled system instance, reusable across inputs. */
+class System
+{
+  public:
+    /**
+     * Build from C-subset source. @p train_input (optional) mutates
+     * module globals before the profiling run; profiling executes
+     * "main" with @p train_args.
+     */
+    System(const std::string &source, const SystemConfig &config,
+           const std::function<void(Module &)> &train_input = {},
+           const std::vector<uint64_t> &train_args = {});
+
+    /**
+     * Run with fresh input: @p run_input mutates globals, then the
+     * core executes from _start.
+     */
+    RunResult run(const std::function<void(Module &)> &run_input = {},
+                  const std::vector<uint32_t> &args = {});
+
+    Module &module() { return *module_; }
+    const MachProgram &program() const { return compiled_.program; }
+    const SystemConfig &config() const { return config_; }
+
+    /** Dynamic IR instructions of the training run (Fig. 3's
+     *  IR-level series). */
+    uint64_t profiledIrInstructions() const { return trainIrSteps_; }
+
+  private:
+    SystemConfig config_;
+    std::unique_ptr<Module> module_;
+    CompiledProgram compiled_;
+    SqueezeStats squeezeStats_;
+    ExpandStats expandStats_;
+    uint64_t trainIrSteps_ = 0;
+};
+
+} // namespace bitspec
+
+#endif // BITSPEC_CORE_SYSTEM_H_

@@ -1,0 +1,101 @@
+#include "energy/dts.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace bitspec
+{
+
+namespace
+{
+
+/** Alpha-power-law gate delay, normalised so delay(vNominal) == 1. */
+double
+normalizedDelay(double v, const DtsParams &p)
+{
+    double num = v / std::pow(v - p.vThreshold, p.alpha);
+    double den =
+        p.vNominal / std::pow(p.vNominal - p.vThreshold, p.alpha);
+    return num / den;
+}
+
+} // namespace
+
+double
+voltageForSlack(double frac, const DtsParams &p)
+{
+    bsAssert(frac > 0.0 && frac <= 1.0, "voltageForSlack: bad fraction");
+    // Find v with delay(v) == 1 / frac (path may be 1/frac times
+    // slower and still fit the period).
+    double target = 1.0 / frac;
+    double lo = p.vMin, hi = p.vNominal;
+    if (normalizedDelay(lo, p) < target)
+        return lo; // Even the minimum rail meets timing.
+    for (int i = 0; i < 60; ++i) {
+        double mid = 0.5 * (lo + hi);
+        if (normalizedDelay(mid, p) > target)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return hi;
+}
+
+DtsResult
+applyDts(const EnergyBreakdown &e, const ActivityCounters &c,
+         const DtsParams &p)
+{
+    // Event counts per class.
+    double add_sub32 = static_cast<double>(c.alu32);
+    double add_sub8 = static_cast<double>(c.alu8);
+    double muldiv = static_cast<double>(c.mulDiv);
+    double mem = static_cast<double>(c.loads + c.stores);
+    double branch = static_cast<double>(c.branches + c.calls);
+    double total = add_sub32 + add_sub8 + muldiv + mem + branch;
+    if (total <= 0)
+        return {e.total(), p.vNominal, 0.0};
+
+    auto scale = [&](double frac) {
+        double v = voltageForSlack(frac, p);
+        return (v / p.vNominal) * (v / p.vNominal);
+    };
+
+    double s32 = scale(p.fracAddSub);
+    double s8 = scale(p.widthAware ? p.fracAddSub8 : p.fracAddSub);
+    double slogic8 = scale(p.widthAware ? p.fracLogic8 : p.fracLogic);
+    double smul = scale(p.fracMulDiv);
+    double smem = scale(p.fracMem);
+    double sbr = scale(p.fracBranch);
+    double slogic = scale(p.fracLogic);
+
+    // Voltage-squared factor weighted by each class's event share.
+    // ALU-class energy splits between carry-chain paths and logic
+    // paths; a 60/40 split is typical of the MiBench mixes.
+    double alu_scale32 = 0.6 * s32 + 0.4 * slogic;
+    double alu_scale8 = 0.6 * s8 + 0.4 * slogic8;
+    double alu_scale =
+        (add_sub32 * alu_scale32 + add_sub8 * alu_scale8 +
+         muldiv * smul) /
+        std::max(1.0, add_sub32 + add_sub8 + muldiv);
+
+    DtsResult out;
+    double mean_scale =
+        (add_sub32 * alu_scale32 + add_sub8 * alu_scale8 +
+         muldiv * smul + mem * smem + branch * sbr) /
+        total;
+
+    out.scaledEnergy = e.alu * alu_scale +
+                       e.regfile * mean_scale +
+                       e.dcache * smem +
+                       e.icache * mean_scale +
+                       e.pipeline * mean_scale;
+
+    out.recoveryOverhead = p.errorRate * total * p.recoveryEnergy;
+    out.scaledEnergy += out.recoveryOverhead;
+
+    out.meanVoltage = p.vNominal * std::sqrt(mean_scale);
+    return out;
+}
+
+} // namespace bitspec

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Dynamic timing slack (DTS) model: the paper's RQ8 composition with
+ * Time Squeezing [Fan et al., ISCA'19].
+ *
+ * The compiler-side estimator assigns each instruction class a
+ * critical-path fraction (how much of the clock period its slowest
+ * path uses). A per-instruction programmable clock (multi-phase
+ * ADPLL) squeezes the period to that fraction; equivalently, supply
+ * voltage is lowered until the path fills the period, scaling dynamic
+ * energy by (V/Vnom)^2 via the alpha-power-law delay model
+ * [Sakurai-Newton], with RazorII-style error recovery charged per
+ * instruction.
+ *
+ * Following the paper's finding, the shipped estimator is
+ * width-agnostic: 8-bit ALU ops get the same fraction as 32-bit ones,
+ * so DTS+BitSpec multiplies rather than super-composes. A width-aware
+ * oracle variant (the paper's proposed future work) is provided for
+ * the ablation bench.
+ */
+
+#ifndef BITSPEC_ENERGY_DTS_H_
+#define BITSPEC_ENERGY_DTS_H_
+
+#include "energy/model.h"
+#include "uarch/counters.h"
+
+namespace bitspec
+{
+
+/** DTS configuration. */
+struct DtsParams
+{
+    double vNominal = 1.2;  ///< Volts.
+    double vThreshold = 0.35;
+    double alpha = 1.3;     ///< Alpha-power-law exponent.
+    double vMin = 0.7;      ///< Safe lower rail.
+
+    /** @name Critical-path fractions per instruction class. */
+    /// @{
+    double fracLogic = 0.62;   ///< Moves, logic, extensions.
+    double fracAddSub = 0.78;  ///< Carry chain.
+    double fracMulDiv = 1.0;
+    double fracMem = 0.95;     ///< Cache access path.
+    double fracBranch = 0.7;
+    /// @}
+
+    /** Width-aware estimation (paper future work): 8-bit ALU carry
+     *  chains are shorter, exposing more slack. */
+    bool widthAware = false;
+    double fracAddSub8 = 0.55;
+    double fracLogic8 = 0.5;
+
+    /** RazorII error recovery: error probability per squeezed
+     *  instruction and flush penalty energy (pJ). */
+    double errorRate = 1e-4;
+    double recoveryEnergy = 60.0;
+};
+
+/** Result of applying DTS scaling to a run. */
+struct DtsResult
+{
+    double scaledEnergy = 0;   ///< pJ after voltage scaling.
+    double meanVoltage = 0;    ///< Activity-weighted supply voltage.
+    double recoveryOverhead = 0;
+};
+
+/**
+ * Voltage at which a path using @p frac of the nominal period exactly
+ * fills it, per the alpha-power delay model (bisection solve).
+ */
+double voltageForSlack(double frac, const DtsParams &p);
+
+/**
+ * Apply DTS to a finished run: dynamic energy components scale with
+ * (V/Vnom)^2 weighted by each class's share of events; the pipeline
+ * component scales with the mean voltage.
+ */
+DtsResult applyDts(const EnergyBreakdown &e, const ActivityCounters &c,
+                   const DtsParams &p = {});
+
+} // namespace bitspec
+
+#endif // BITSPEC_ENERGY_DTS_H_

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * AST for the BitSpec C subset.
+ *
+ * The language is deliberately small but sufficient for the MiBench
+ * re-implementations: sized integer types, global scalars/arrays with
+ * initialisers, functions with recursion, full C expression precedence
+ * with short-circuit logic, and the usual statements. There are no
+ * pointers; arrays are global and indexed. `out(e)` emits an observable
+ * value (the volatile output channel).
+ */
+
+#ifndef BITSPEC_FRONTEND_AST_H_
+#define BITSPEC_FRONTEND_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bitspec::ast
+{
+
+/** Source-level scalar type: width plus signedness. */
+struct SrcType
+{
+    unsigned bits = 0;      ///< 0 encodes void.
+    bool isSigned = false;
+
+    bool isVoid() const { return bits == 0; }
+    bool operator==(const SrcType &o) const
+    {
+        return bits == o.bits && isSigned == o.isSigned;
+    }
+};
+
+enum class ExprKind
+{
+    IntLit,
+    VarRef,      ///< Local variable, parameter or global scalar.
+    Index,       ///< global[expr]
+    Unary,       ///< - ~ !
+    Binary,      ///< arithmetic/bitwise/relational (non-short-circuit)
+    Logical,     ///< && ||
+    Ternary,     ///< cond ? a : b
+    Cast,        ///< (type)expr
+    Call,        ///< f(args) or the out() builtin
+};
+
+enum class BinOp
+{
+    Add, Sub, Mul, Div, Rem,
+    And, Or, Xor, Shl, Shr,
+    Lt, Gt, Le, Ge, Eq, Ne,
+};
+
+enum class UnOp { Neg, Not, LogicalNot };
+
+struct Expr
+{
+    ExprKind kind;
+    int line = 0;
+
+    // IntLit
+    uint64_t intValue = 0;
+
+    // VarRef / Index / Call
+    std::string name;
+
+    // Unary/Cast: children[0]. Binary/Logical: children[0,1].
+    // Ternary: children[0,1,2]. Index: children[0]. Call: args.
+    std::vector<std::unique_ptr<Expr>> children;
+
+    BinOp binOp = BinOp::Add;
+    UnOp unOp = UnOp::Neg;
+    bool logicalAnd = false; ///< Logical: true for &&, false for ||.
+    SrcType castType;        ///< Cast target.
+};
+
+enum class StmtKind
+{
+    Block,
+    Decl,      ///< type name [= init];
+    Assign,    ///< lvalue op= expr; (op == Add for plain =)
+    If,
+    While,
+    DoWhile,
+    For,
+    Return,
+    Break,
+    Continue,
+    ExprStmt,  ///< expression evaluated for side effects (calls).
+};
+
+struct Stmt
+{
+    StmtKind kind;
+    int line = 0;
+
+    // Block
+    std::vector<std::unique_ptr<Stmt>> body;
+
+    // Decl
+    SrcType declType;
+    std::string name;
+
+    // Assign: target (VarRef or Index) and value; compound holds the
+    // arithmetic op for `+=` etc.; plain `=` when !isCompound.
+    std::unique_ptr<Expr> target;
+    bool isCompound = false;
+    BinOp compoundOp = BinOp::Add;
+
+    // Generic expression slots: Decl init / Assign value / If cond /
+    // While cond / Return value / ExprStmt expr.
+    std::unique_ptr<Expr> expr;
+
+    // If: thenS/elseS. While/DoWhile/For: thenS = body.
+    std::unique_ptr<Stmt> thenS;
+    std::unique_ptr<Stmt> elseS;
+
+    // For: init/step statements.
+    std::unique_ptr<Stmt> forInit;
+    std::unique_ptr<Stmt> forStep;
+};
+
+/** A function definition. */
+struct FuncDecl
+{
+    std::string name;
+    SrcType retType;
+    std::vector<std::pair<SrcType, std::string>> params;
+    std::unique_ptr<Stmt> body;
+    int line = 0;
+};
+
+/** A global scalar or array with optional initialiser. */
+struct GlobalDecl
+{
+    std::string name;
+    SrcType elemType;
+    uint64_t arraySize = 0;   ///< 0 for scalars.
+    bool isArray = false;
+    std::vector<uint64_t> init;
+    std::string strInit;      ///< For u8 arrays initialised by string.
+    int line = 0;
+};
+
+/** A whole translation unit. */
+struct Program
+{
+    std::vector<GlobalDecl> globals;
+    std::vector<FuncDecl> functions;
+};
+
+} // namespace bitspec::ast
+
+#endif // BITSPEC_FRONTEND_AST_H_

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Typed IR generation from the C-subset AST.
+ *
+ * SSA is constructed directly (Braun et al., "Simple and Efficient
+ * Construction of Static Single Assignment Form") with sealed-block
+ * bookkeeping; redundant phis are cleaned by simplifyTrivialPhis().
+ *
+ * Typing follows C-like rules: u8/u16 operands are promoted to 32 bits
+ * for arithmetic, the wider type wins, unsignedness wins at equal
+ * width, and assignment converts back to the destination type. This is
+ * exactly the behaviour that makes programmer-selected widths larger
+ * than required (paper §2, Fig. 1b) and gives BitSpec its opportunity.
+ */
+
+#ifndef BITSPEC_FRONTEND_IRGEN_H_
+#define BITSPEC_FRONTEND_IRGEN_H_
+
+#include <memory>
+#include <string>
+
+#include "frontend/ast.h"
+#include "ir/module.h"
+
+namespace bitspec
+{
+
+/** Lower @p program into a fresh IR module. Throws FatalError on
+ *  semantic errors (unknown names, arity mismatches, bad types). */
+std::unique_ptr<Module> generateIR(const ast::Program &program);
+
+/**
+ * Convenience: parse + lower + cleanup + verify. The standard entry
+ * point used by workloads, tests and examples.
+ */
+std::unique_ptr<Module> compileSource(const std::string &source);
+
+} // namespace bitspec
+
+#endif // BITSPEC_FRONTEND_IRGEN_H_

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Hand-written lexer for the BitSpec C subset.
+ */
+
+#ifndef BITSPEC_FRONTEND_LEXER_H_
+#define BITSPEC_FRONTEND_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "frontend/token.h"
+
+namespace bitspec
+{
+
+/**
+ * Tokenise @p source. Supports decimal/hex/char literals, string
+ * literals with C escapes, line (//) and block comments. Throws
+ * FatalError with line/column on bad input.
+ */
+std::vector<Token> lex(const std::string &source);
+
+} // namespace bitspec
+
+#endif // BITSPEC_FRONTEND_LEXER_H_

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Recursive-descent parser for the BitSpec C subset.
+ */
+
+#ifndef BITSPEC_FRONTEND_PARSER_H_
+#define BITSPEC_FRONTEND_PARSER_H_
+
+#include <string>
+
+#include "frontend/ast.h"
+
+namespace bitspec
+{
+
+/** Parse @p source into an AST. Throws FatalError on syntax errors. */
+ast::Program parseProgram(const std::string &source);
+
+} // namespace bitspec
+
+#endif // BITSPEC_FRONTEND_PARSER_H_

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Tokens for the BitSpec C-subset front-end.
+ */
+
+#ifndef BITSPEC_FRONTEND_TOKEN_H_
+#define BITSPEC_FRONTEND_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace bitspec
+{
+
+/** Token kinds. Punctuation spelled out for readability. */
+enum class Tok
+{
+    End,
+    Ident,
+    IntLit,
+    StrLit,
+
+    // Keywords.
+    KwVoid, KwU8, KwU16, KwU32, KwU64, KwI8, KwI16, KwI32, KwI64,
+    KwIf, KwElse, KwWhile, KwDo, KwFor, KwReturn, KwBreak, KwContinue,
+
+    // Punctuation.
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Comma, Semi,
+
+    // Operators.
+    Plus, Minus, Star, Slash, Percent,
+    Amp, Pipe, Caret, Tilde, Bang,
+    Shl, Shr,
+    Lt, Gt, Le, Ge, EqEq, NotEq,
+    AmpAmp, PipePipe,
+    Assign,
+    PlusEq, MinusEq, StarEq, SlashEq, PercentEq,
+    AmpEq, PipeEq, CaretEq, ShlEq, ShrEq,
+    PlusPlus, MinusMinus,
+    Question, Colon,
+};
+
+/** One lexed token with source position for diagnostics. */
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;     ///< Identifier or string literal contents.
+    uint64_t intValue = 0;
+    int line = 0;
+    int col = 0;
+};
+
+/** Human-readable token name for diagnostics. */
+const char *tokName(Tok t);
+
+} // namespace bitspec
+
+#endif // BITSPEC_FRONTEND_TOKEN_H_

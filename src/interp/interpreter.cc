@@ -1,0 +1,447 @@
+#include "interp/interpreter.h"
+
+#include <set>
+
+#include "support/bits.h"
+#include "support/error.h"
+#include "support/str.h"
+
+namespace bitspec
+{
+
+namespace
+{
+
+constexpr unsigned kMaxCallDepth = 8192;
+
+uint64_t
+shiftLeft(uint64_t a, uint64_t amt, unsigned bits)
+{
+    if (amt >= bits)
+        return 0;
+    return truncTo(a << amt, bits);
+}
+
+uint64_t
+shiftRightLogical(uint64_t a, uint64_t amt, unsigned bits)
+{
+    if (amt >= bits)
+        return 0;
+    return truncTo(a, bits) >> amt;
+}
+
+uint64_t
+shiftRightArith(uint64_t a, uint64_t amt, unsigned bits)
+{
+    int64_t sa = static_cast<int64_t>(sextFrom(a, bits));
+    if (amt >= bits)
+        return truncTo(sa < 0 ? ~0ULL : 0, bits);
+    return truncTo(static_cast<uint64_t>(sa >> amt), bits);
+}
+
+bool
+evalCmp(CmpPred pred, uint64_t a, uint64_t b, unsigned bits)
+{
+    uint64_t ua = truncTo(a, bits), ub = truncTo(b, bits);
+    int64_t sa = static_cast<int64_t>(sextFrom(a, bits));
+    int64_t sb = static_cast<int64_t>(sextFrom(b, bits));
+    switch (pred) {
+      case CmpPred::EQ: return ua == ub;
+      case CmpPred::NE: return ua != ub;
+      case CmpPred::ULT: return ua < ub;
+      case CmpPred::ULE: return ua <= ub;
+      case CmpPred::UGT: return ua > ub;
+      case CmpPred::UGE: return ua >= ub;
+      case CmpPred::SLT: return sa < sb;
+      case CmpPred::SLE: return sa <= sb;
+      case CmpPred::SGT: return sa > sb;
+      case CmpPred::SGE: return sa >= sb;
+    }
+    panic("evalCmp: bad predicate");
+}
+
+} // namespace
+
+Interpreter::Interpreter(Module &m, size_t mem_bytes) : module_(m)
+{
+    memory_.resize(mem_bytes, 0);
+    module_.layoutGlobals();
+    reset();
+}
+
+void
+Interpreter::reset()
+{
+    std::fill(memory_.begin(), memory_.end(), 0);
+    for (const auto &g : module_.globals()) {
+        uint32_t base = g->address();
+        bsAssert(base + g->sizeBytes() <= memory_.size(),
+                 "global does not fit in memory: " + g->name());
+        std::copy(g->data().begin(), g->data().end(),
+                  memory_.begin() + base);
+    }
+    output_.clear();
+    stats_ = InterpStats{};
+}
+
+uint64_t
+Interpreter::loadMem(uint32_t addr, unsigned bits) const
+{
+    unsigned bytes = bits / 8;
+    bsAssert(bytes >= 1 && bytes <= 8, "loadMem: bad width");
+    if (addr + bytes > memory_.size())
+        fatal(strFormat("out-of-bounds load at 0x%x", addr));
+    uint64_t v = 0;
+    for (unsigned b = 0; b < bytes; ++b)
+        v |= static_cast<uint64_t>(memory_[addr + b]) << (8 * b);
+    return v;
+}
+
+void
+Interpreter::storeMem(uint32_t addr, uint64_t value, unsigned bits)
+{
+    unsigned bytes = bits / 8;
+    bsAssert(bytes >= 1 && bytes <= 8, "storeMem: bad width");
+    if (addr + bytes > memory_.size())
+        fatal(strFormat("out-of-bounds store at 0x%x", addr));
+    for (unsigned b = 0; b < bytes; ++b)
+        memory_[addr + b] = static_cast<uint8_t>(value >> (8 * b));
+}
+
+unsigned
+Interpreter::slotsOf(Function *f)
+{
+    auto it = slotCache_.find(f);
+    if (it != slotCache_.end())
+        return it->second;
+    unsigned n = f->renumber();
+    slotCache_[f] = n;
+    return n;
+}
+
+uint64_t
+Interpreter::run(const std::string &fn, const std::vector<uint64_t> &args)
+{
+    Function *f = module_.getFunction(fn);
+    if (!f)
+        fatal("no such function: " + fn);
+    return callFunction(f, args, 0);
+}
+
+uint64_t
+Interpreter::outputChecksum() const
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (uint64_t v : output_) {
+        for (unsigned b = 0; b < 8; ++b) {
+            h ^= (v >> (8 * b)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    }
+    return h;
+}
+
+uint64_t
+Interpreter::callFunction(Function *f, const std::vector<uint64_t> &args,
+                          unsigned depth)
+{
+    if (depth > kMaxCallDepth)
+        fatal("call depth exceeded in " + f->name());
+    bsAssert(args.size() == f->numArgs(),
+             "arity mismatch calling " + f->name());
+
+    std::vector<uint64_t> frame(slotsOf(f), 0);
+    for (size_t i = 0; i < args.size(); ++i)
+        frame[f->valueId(f->arg(i))] =
+            truncTo(args[i], f->arg(i)->type().bits);
+
+    auto eval = [&](Value *v) -> uint64_t {
+        switch (v->kind()) {
+          case ValueKind::Constant:
+            return static_cast<Constant *>(v)->value();
+          case ValueKind::GlobalRef:
+            return static_cast<GlobalRef *>(v)->global()->address();
+          default:
+            return frame[f->valueId(v)];
+        }
+    };
+
+    // Lazily-built block -> region map for misspeculation routing.
+    std::map<const BasicBlock *, SpecRegion *> region_of;
+    for (const auto &sr : f->specRegions())
+        for (BasicBlock *member : sr->blocks)
+            region_of[member] = sr.get();
+
+    // Regions already force-misspeculated under ForceFirst.
+    std::set<const SpecRegion *> forced;
+
+    BasicBlock *bb = f->entry();
+    BasicBlock *prev = nullptr;
+
+    for (;;) {
+        // Phase 1: evaluate all phis in parallel against `prev`.
+        auto phis = bb->phis();
+        if (!phis.empty()) {
+            std::vector<uint64_t> vals(phis.size());
+            for (size_t p = 0; p < phis.size(); ++p) {
+                Instruction *phi = phis[p];
+                bool found = false;
+                for (size_t i = 0; i < phi->numOperands(); ++i) {
+                    if (phi->blockOperand(i) == prev) {
+                        vals[p] = truncTo(eval(phi->operand(i)),
+                                          phi->type().bits);
+                        found = true;
+                        break;
+                    }
+                }
+                if (!found)
+                    panic("phi has no entry for predecessor " +
+                          (prev ? prev->name() : std::string("<entry>")) +
+                          " in " + bb->name());
+                ++stats_.steps;
+                ++stats_.intAssignments;
+            }
+            for (size_t p = 0; p < phis.size(); ++p) {
+                frame[f->valueId(phis[p])] = vals[p];
+                if (onAssign)
+                    onAssign(phis[p], vals[p]);
+            }
+        }
+
+        // Phase 2: straight-line execution.
+        bool transferred = false;
+        for (auto it = bb->firstNonPhi(); it != bb->insts().end(); ++it) {
+            Instruction *inst = it->get();
+            if (++stats_.steps > fuel_)
+                fatal("out of fuel (infinite loop?) in " + f->name());
+
+            // Misspeculation routing shared by all speculative ops.
+            auto misspeculate = [&]() {
+                SpecRegion *sr = region_of.count(bb) ? region_of[bb]
+                                                     : nullptr;
+                bsAssert(sr != nullptr,
+                         "speculative op outside a region in " +
+                         bb->name());
+                ++stats_.misspeculations;
+                if (onMisspec)
+                    onMisspec(inst);
+                prev = bb;
+                bb = sr->handler;
+                transferred = true;
+            };
+
+            // Under forcing policies, misspeculate even when the value
+            // would fit.
+            auto shouldForce = [&]() {
+                if (!inst->isSpeculative() || !region_of.count(bb))
+                    return false;
+                if (policy_ == MisspecPolicy::ForceFirst)
+                    return forced.insert(region_of[bb]).second;
+                if (policy_ == MisspecPolicy::Random)
+                    return rng_.next() % 8 == 0;
+                return false;
+            };
+
+            unsigned bits = inst->type().bits;
+            uint64_t result = 0;
+            bool writes = !inst->type().isVoid();
+
+            switch (inst->op()) {
+              case Opcode::Add: {
+                uint64_t a = eval(inst->operand(0));
+                uint64_t b = eval(inst->operand(1));
+                uint64_t full = truncTo(a, bits) + truncTo(b, bits);
+                if (inst->isSpeculative() &&
+                    (full > lowMask(bits) || shouldForce())) {
+                    misspeculate();
+                    break;
+                }
+                result = truncTo(full, bits);
+                break;
+              }
+              case Opcode::Sub: {
+                uint64_t a = truncTo(eval(inst->operand(0)), bits);
+                uint64_t b = truncTo(eval(inst->operand(1)), bits);
+                if (inst->isSpeculative() && (a < b || shouldForce())) {
+                    misspeculate();
+                    break;
+                }
+                result = truncTo(a - b, bits);
+                break;
+              }
+              case Opcode::Mul:
+                result = truncTo(eval(inst->operand(0)) *
+                                 eval(inst->operand(1)), bits);
+                break;
+              case Opcode::UDiv: {
+                uint64_t b = truncTo(eval(inst->operand(1)), bits);
+                if (b == 0)
+                    fatal("division by zero in " + f->name());
+                result = truncTo(eval(inst->operand(0)), bits) / b;
+                break;
+              }
+              case Opcode::SDiv: {
+                int64_t b = static_cast<int64_t>(
+                    sextFrom(eval(inst->operand(1)), bits));
+                if (b == 0)
+                    fatal("division by zero in " + f->name());
+                int64_t a = static_cast<int64_t>(
+                    sextFrom(eval(inst->operand(0)), bits));
+                result = truncTo(static_cast<uint64_t>(a / b), bits);
+                break;
+              }
+              case Opcode::URem: {
+                uint64_t b = truncTo(eval(inst->operand(1)), bits);
+                if (b == 0)
+                    fatal("remainder by zero in " + f->name());
+                result = truncTo(eval(inst->operand(0)), bits) % b;
+                break;
+              }
+              case Opcode::SRem: {
+                int64_t b = static_cast<int64_t>(
+                    sextFrom(eval(inst->operand(1)), bits));
+                if (b == 0)
+                    fatal("remainder by zero in " + f->name());
+                int64_t a = static_cast<int64_t>(
+                    sextFrom(eval(inst->operand(0)), bits));
+                result = truncTo(static_cast<uint64_t>(a % b), bits);
+                break;
+              }
+              case Opcode::And:
+                result = truncTo(eval(inst->operand(0)) &
+                                 eval(inst->operand(1)), bits);
+                if (inst->isSpeculative() && shouldForce()) {
+                    // Logic never misspeculates in hardware; forcing
+                    // policies still exercise the handler path.
+                    misspeculate();
+                }
+                break;
+              case Opcode::Or:
+                result = truncTo(eval(inst->operand(0)) |
+                                 eval(inst->operand(1)), bits);
+                break;
+              case Opcode::Xor:
+                result = truncTo(eval(inst->operand(0)) ^
+                                 eval(inst->operand(1)), bits);
+                break;
+              case Opcode::Shl:
+                result = shiftLeft(eval(inst->operand(0)),
+                                   eval(inst->operand(1)), bits);
+                break;
+              case Opcode::LShr:
+                result = shiftRightLogical(eval(inst->operand(0)),
+                                           eval(inst->operand(1)), bits);
+                break;
+              case Opcode::AShr:
+                result = shiftRightArith(eval(inst->operand(0)),
+                                         eval(inst->operand(1)), bits);
+                break;
+              case Opcode::ICmp:
+                result = evalCmp(inst->pred(), eval(inst->operand(0)),
+                                 eval(inst->operand(1)),
+                                 inst->operand(0)->type().bits) ? 1 : 0;
+                break;
+              case Opcode::Select:
+                result = truncTo(eval(inst->operand(0)) != 0
+                                     ? eval(inst->operand(1))
+                                     : eval(inst->operand(2)), bits);
+                break;
+              case Opcode::ZExt:
+                result = zextFrom(eval(inst->operand(0)),
+                                  inst->operand(0)->type().bits);
+                break;
+              case Opcode::SExt:
+                result = truncTo(sextFrom(eval(inst->operand(0)),
+                                          inst->operand(0)->type().bits),
+                                 bits);
+                break;
+              case Opcode::Trunc: {
+                uint64_t v = truncTo(eval(inst->operand(0)),
+                                     inst->operand(0)->type().bits);
+                if (inst->isSpeculative() &&
+                    (v > lowMask(bits) || shouldForce())) {
+                    misspeculate();
+                    break;
+                }
+                result = truncTo(v, bits);
+                break;
+              }
+              case Opcode::Load: {
+                auto addr =
+                    static_cast<uint32_t>(eval(inst->operand(0)));
+                if (inst->isSpeculative()) {
+                    unsigned orig = inst->specOrigBits();
+                    bsAssert(orig > bits, "spec load with no orig width");
+                    uint64_t v = loadMem(addr, orig);
+                    if (v > lowMask(bits) || shouldForce()) {
+                        misspeculate();
+                        break;
+                    }
+                    result = v;
+                } else {
+                    result = loadMem(addr, bits);
+                }
+                break;
+              }
+              case Opcode::Store: {
+                auto addr =
+                    static_cast<uint32_t>(eval(inst->operand(0)));
+                Value *v = inst->operand(1);
+                storeMem(addr, truncTo(eval(v), v->type().bits),
+                         v->type().bits);
+                break;
+              }
+              case Opcode::Call: {
+                std::vector<uint64_t> call_args;
+                for (Value *a : inst->operands())
+                    call_args.push_back(eval(a));
+                ++stats_.calls;
+                result = callFunction(inst->callee(), call_args,
+                                      depth + 1);
+                result = truncTo(result, bits ? bits : 64);
+                break;
+              }
+              case Opcode::Output: {
+                Value *v = inst->operand(0);
+                output_.push_back(truncTo(eval(v), v->type().bits));
+                ++stats_.outputs;
+                break;
+              }
+              case Opcode::Br:
+                prev = bb;
+                bb = inst->blockOperand(0);
+                transferred = true;
+                break;
+              case Opcode::CondBr:
+                prev = bb;
+                bb = eval(inst->operand(0)) != 0 ? inst->blockOperand(0)
+                                                 : inst->blockOperand(1);
+                transferred = true;
+                break;
+              case Opcode::Ret:
+                return inst->numOperands()
+                           ? truncTo(eval(inst->operand(0)),
+                                     inst->operand(0)->type().bits)
+                           : 0;
+              case Opcode::Unreachable:
+                panic("executed unreachable in " + f->name());
+              case Opcode::Phi:
+                panic("phi after firstNonPhi");
+            }
+
+            if (transferred)
+                break;
+
+            if (writes) {
+                frame[f->valueId(inst)] = result;
+                ++stats_.intAssignments;
+                if (onAssign)
+                    onAssign(inst, result);
+            }
+        }
+
+        bsAssert(transferred, "block fell through: " + bb->name());
+    }
+}
+
+} // namespace bitspec

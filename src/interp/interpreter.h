@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Reference interpreter for the BitSpec IR.
+ *
+ * Serves three roles:
+ *  1. Golden model — simulated machine executions must match its output.
+ *  2. Statistics engine — dynamic instruction counts and per-assignment
+ *     hooks feed the bitwidth profiler and the Fig. 1/5 histograms.
+ *  3. Speculative semantics — squeezed programs execute with Table-1
+ *     misspeculation behaviour (redirect to the region handler), which
+ *     lets the squeezer be validated before any machine code exists.
+ */
+
+#ifndef BITSPEC_INTERP_INTERPRETER_H_
+#define BITSPEC_INTERP_INTERPRETER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "ir/module.h"
+#include "support/rng.h"
+
+namespace bitspec
+{
+
+/** How speculative instructions behave during interpretation. */
+enum class MisspecPolicy
+{
+    /** Table-1 semantics: misspeculate when the value does not fit. */
+    Hardware,
+    /** Misspeculate at the first opportunity in every region entered
+     *  (plus whenever required); exercises Theorem 3.2. */
+    ForceFirst,
+    /** Misspeculate randomly with probability 1/8 (plus whenever
+     *  required); randomised correctness testing. */
+    Random,
+};
+
+/** Aggregate execution statistics. */
+struct InterpStats
+{
+    uint64_t steps = 0;          ///< All executed instructions.
+    uint64_t intAssignments = 0; ///< Executed integer-producing instrs.
+    uint64_t misspeculations = 0;
+    uint64_t calls = 0;
+    uint64_t outputs = 0;
+};
+
+/** Executes IR modules against a flat little-endian memory. */
+class Interpreter
+{
+  public:
+    static constexpr size_t kDefaultMemBytes = 1 << 22;
+    static constexpr uint64_t kDefaultFuel = 400'000'000;
+
+    explicit Interpreter(Module &m, size_t mem_bytes = kDefaultMemBytes);
+
+    /** Re-copy global initialisers into memory and clear outputs/stats. */
+    void reset();
+
+    /**
+     * Run @p fn (default "main") with integer @p args; returns the
+     * (zero-extended) return value. Throws FatalError when out of fuel.
+     */
+    uint64_t run(const std::string &fn = "main",
+                 const std::vector<uint64_t> &args = {});
+
+    const InterpStats &stats() const { return stats_; }
+    const std::vector<uint64_t> &output() const { return output_; }
+
+    /** FNV-1a hash of the output stream; the cross-model checksum. */
+    uint64_t outputChecksum() const;
+
+    void setFuel(uint64_t fuel) { fuel_ = fuel; }
+    void setMisspecPolicy(MisspecPolicy p) { policy_ = p; }
+    void setRandomSeed(uint64_t seed) { rng_ = Rng(seed); }
+
+    /**
+     * Per-assignment hook: called with every executed integer-producing
+     * instruction and the value produced. Used by the profiler and the
+     * bitwidth histogram benches.
+     */
+    std::function<void(const Instruction *, uint64_t)> onAssign;
+
+    /** Called on every misspeculation with the faulting instruction. */
+    std::function<void(const Instruction *)> onMisspec;
+
+    /** @name Raw memory access (for loading workload inputs). */
+    /// @{
+    uint64_t loadMem(uint32_t addr, unsigned bits) const;
+    void storeMem(uint32_t addr, uint64_t value, unsigned bits);
+    /// @}
+
+  private:
+    uint64_t callFunction(Function *f, const std::vector<uint64_t> &args,
+                          unsigned depth);
+    unsigned slotsOf(Function *f);
+
+    Module &module_;
+    std::vector<uint8_t> memory_;
+    std::vector<uint64_t> output_;
+    InterpStats stats_;
+    uint64_t fuel_ = kDefaultFuel;
+    MisspecPolicy policy_ = MisspecPolicy::Hardware;
+    Rng rng_{0x5eed};
+    std::map<Function *, unsigned> slotCache_;
+};
+
+} // namespace bitspec
+
+#endif // BITSPEC_INTERP_INTERPRETER_H_

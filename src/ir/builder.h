@@ -1,0 +1,259 @@
+/**
+ * @file
+ * IRBuilder: convenience construction of instructions at an insertion
+ * point, mirroring llvm::IRBuilder.
+ */
+
+#ifndef BITSPEC_IR_BUILDER_H_
+#define BITSPEC_IR_BUILDER_H_
+
+#include <memory>
+
+#include "ir/module.h"
+#include "support/error.h"
+
+namespace bitspec
+{
+
+/** Builds instructions at the end of a chosen basic block. */
+class IRBuilder
+{
+  public:
+    explicit IRBuilder(Module *module) : module_(module) {}
+
+    Module *module() const { return module_; }
+
+    void setInsertPoint(BasicBlock *bb) { bb_ = bb; }
+    BasicBlock *insertBlock() const { return bb_; }
+
+    /** @name Constants */
+    /// @{
+    Constant *constInt(Type t, uint64_t v) { return module_->getConst(t, v); }
+    Constant *constI32(uint64_t v) { return constInt(Type::i32(), v); }
+    Constant *constBool(bool v) { return constInt(Type::i1(), v ? 1 : 0); }
+    GlobalRef *globalAddr(Global *g) { return module_->getGlobalRef(g); }
+    /// @}
+
+    /** @name Arithmetic / bitwise */
+    /// @{
+    Instruction *
+    binary(Opcode op, Value *a, Value *b, const std::string &name = "")
+    {
+        bsAssert(a->type() == b->type(), "binary: operand type mismatch");
+        auto *inst = make(op, a->type(), name);
+        inst->addOperand(a);
+        inst->addOperand(b);
+        return insert(inst);
+    }
+
+    Instruction *add(Value *a, Value *b) { return binary(Opcode::Add, a, b); }
+    Instruction *sub(Value *a, Value *b) { return binary(Opcode::Sub, a, b); }
+    Instruction *mul(Value *a, Value *b) { return binary(Opcode::Mul, a, b); }
+    Instruction *udiv(Value *a, Value *b)
+    {
+        return binary(Opcode::UDiv, a, b);
+    }
+    Instruction *sdiv(Value *a, Value *b)
+    {
+        return binary(Opcode::SDiv, a, b);
+    }
+    Instruction *urem(Value *a, Value *b)
+    {
+        return binary(Opcode::URem, a, b);
+    }
+    Instruction *srem(Value *a, Value *b)
+    {
+        return binary(Opcode::SRem, a, b);
+    }
+    Instruction *band(Value *a, Value *b) { return binary(Opcode::And, a, b); }
+    Instruction *bor(Value *a, Value *b) { return binary(Opcode::Or, a, b); }
+    Instruction *bxor(Value *a, Value *b) { return binary(Opcode::Xor, a, b); }
+    Instruction *shl(Value *a, Value *b) { return binary(Opcode::Shl, a, b); }
+    Instruction *lshr(Value *a, Value *b)
+    {
+        return binary(Opcode::LShr, a, b);
+    }
+    Instruction *ashr(Value *a, Value *b)
+    {
+        return binary(Opcode::AShr, a, b);
+    }
+    /// @}
+
+    Instruction *
+    icmp(CmpPred pred, Value *a, Value *b, const std::string &name = "")
+    {
+        bsAssert(a->type() == b->type(), "icmp: operand type mismatch");
+        auto *inst = make(Opcode::ICmp, Type::i1(), name);
+        inst->setPred(pred);
+        inst->addOperand(a);
+        inst->addOperand(b);
+        return insert(inst);
+    }
+
+    Instruction *
+    select(Value *cond, Value *t, Value *f, const std::string &name = "")
+    {
+        bsAssert(cond->type().isBool(), "select: condition must be i1");
+        bsAssert(t->type() == f->type(), "select: arm type mismatch");
+        auto *inst = make(Opcode::Select, t->type(), name);
+        inst->addOperand(cond);
+        inst->addOperand(t);
+        inst->addOperand(f);
+        return insert(inst);
+    }
+
+    /** @name Width changes */
+    /// @{
+    Instruction *
+    cast(Opcode op, Value *v, Type to, const std::string &name = "")
+    {
+        auto *inst = make(op, to, name);
+        inst->addOperand(v);
+        return insert(inst);
+    }
+
+    Instruction *zext(Value *v, Type to) { return cast(Opcode::ZExt, v, to); }
+    Instruction *sext(Value *v, Type to) { return cast(Opcode::SExt, v, to); }
+    Instruction *trunc(Value *v, Type to)
+    {
+        return cast(Opcode::Trunc, v, to);
+    }
+
+    /** Width adjustment in either direction (zext up / trunc down). */
+    Value *
+    zextOrTrunc(Value *v, Type to)
+    {
+        if (v->type() == to)
+            return v;
+        if (v->type().bits < to.bits)
+            return zext(v, to);
+        return trunc(v, to);
+    }
+    /// @}
+
+    /** @name Memory. Loads and stores move @p type-sized values. */
+    /// @{
+    Instruction *
+    load(Type type, Value *addr, const std::string &name = "")
+    {
+        bsAssert(addr->type() == Type::i32(), "load: address must be i32");
+        auto *inst = make(Opcode::Load, type, name);
+        inst->addOperand(addr);
+        return insert(inst);
+    }
+
+    Instruction *
+    store(Value *addr, Value *value)
+    {
+        bsAssert(addr->type() == Type::i32(), "store: address must be i32");
+        auto *inst = make(Opcode::Store, Type::voidTy(), "");
+        inst->addOperand(addr);
+        inst->addOperand(value);
+        return insert(inst);
+    }
+    /// @}
+
+    Instruction *
+    call(Function *callee, const std::vector<Value *> &args,
+         const std::string &name = "")
+    {
+        bsAssert(args.size() == callee->numArgs(),
+                 "call: arity mismatch calling " + callee->name());
+        auto *inst = make(Opcode::Call, callee->retType(), name);
+        inst->setCallee(callee);
+        for (Value *a : args)
+            inst->addOperand(a);
+        return insert(inst);
+    }
+
+    /** Observable output (volatile, non-idempotent). */
+    Instruction *
+    output(Value *v)
+    {
+        auto *inst = make(Opcode::Output, Type::voidTy(), "");
+        inst->addOperand(v);
+        return insert(inst);
+    }
+
+    Instruction *
+    phi(Type type, const std::string &name = "")
+    {
+        auto *inst = make(Opcode::Phi, type, name);
+        // Phis go before any non-phi already present.
+        inst->setParent(bb_);
+        auto *raw = inst;
+        bb_->insertBefore(bb_->firstNonPhi(),
+                          std::unique_ptr<Instruction>(inst));
+        return raw;
+    }
+
+    static void
+    addIncoming(Instruction *phi, Value *v, BasicBlock *from)
+    {
+        bsAssert(phi->isPhi(), "addIncoming: not a phi");
+        phi->addOperand(v);
+        phi->addBlockOperand(from);
+    }
+
+    /** @name Terminators */
+    /// @{
+    Instruction *
+    br(BasicBlock *dest)
+    {
+        auto *inst = make(Opcode::Br, Type::voidTy(), "");
+        inst->addBlockOperand(dest);
+        return insert(inst);
+    }
+
+    Instruction *
+    condBr(Value *cond, BasicBlock *t, BasicBlock *f)
+    {
+        bsAssert(cond->type().isBool(), "condbr: condition must be i1");
+        auto *inst = make(Opcode::CondBr, Type::voidTy(), "");
+        inst->addOperand(cond);
+        inst->addBlockOperand(t);
+        inst->addBlockOperand(f);
+        return insert(inst);
+    }
+
+    Instruction *
+    ret(Value *v = nullptr)
+    {
+        auto *inst = make(Opcode::Ret, Type::voidTy(), "");
+        if (v)
+            inst->addOperand(v);
+        return insert(inst);
+    }
+
+    Instruction *
+    unreachable()
+    {
+        return insert(make(Opcode::Unreachable, Type::voidTy(), ""));
+    }
+    /// @}
+
+  private:
+    Instruction *
+    make(Opcode op, Type type, const std::string &name)
+    {
+        auto *inst = new Instruction(op, type);
+        if (!name.empty())
+            inst->setName(name);
+        return inst;
+    }
+
+    Instruction *
+    insert(Instruction *inst)
+    {
+        bsAssert(bb_ != nullptr, "IRBuilder: no insertion point");
+        bb_->append(std::unique_ptr<Instruction>(inst));
+        return inst;
+    }
+
+    Module *module_;
+    BasicBlock *bb_ = nullptr;
+};
+
+} // namespace bitspec
+
+#endif // BITSPEC_IR_BUILDER_H_

@@ -1,0 +1,56 @@
+#include "ir/clone.h"
+
+namespace bitspec
+{
+
+std::unique_ptr<Instruction>
+cloneInstruction(const Instruction *inst)
+{
+    auto copy = std::make_unique<Instruction>(inst->op(), inst->type());
+    copy->setName(inst->name());
+    for (Value *op : inst->operands())
+        copy->addOperand(op);
+    for (BasicBlock *bb : inst->blockOperands())
+        copy->addBlockOperand(bb);
+    copy->setPred(inst->pred());
+    copy->setCallee(inst->callee());
+    copy->setSpeculative(inst->isSpeculative());
+    copy->setGuard(inst->isGuard());
+    copy->setSpecOrigBits(inst->specOrigBits());
+    return copy;
+}
+
+CloneMap
+cloneBlocks(const std::vector<BasicBlock *> &src_blocks, Function *dst,
+            const std::string &suffix)
+{
+    CloneMap map;
+
+    // Pass 1: create empty clone blocks.
+    for (BasicBlock *bb : src_blocks)
+        map.blocks[bb] = dst->addBlock(bb->name() + suffix);
+
+    // Pass 2: clone instructions, recording the value mapping.
+    for (BasicBlock *bb : src_blocks) {
+        BasicBlock *nbb = map.blocks[bb];
+        for (const auto &inst : bb->insts()) {
+            Instruction *copy = nbb->append(cloneInstruction(inst.get()));
+            map.values[inst.get()] = copy;
+        }
+    }
+
+    // Pass 3: remap operands and block operands through the clone map.
+    for (BasicBlock *bb : src_blocks) {
+        BasicBlock *nbb = map.blocks[bb];
+        for (auto &inst : nbb->insts()) {
+            for (size_t i = 0; i < inst->numOperands(); ++i)
+                inst->setOperand(i, map.get(inst->operand(i)));
+            for (size_t i = 0; i < inst->blockOperands().size(); ++i)
+                inst->setBlockOperand(i, map.get(inst->blockOperand(i)));
+        }
+    }
+
+    return map;
+}
+
+} // namespace bitspec

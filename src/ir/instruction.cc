@@ -1,0 +1,90 @@
+#include "ir/instruction.h"
+
+#include "support/error.h"
+
+namespace bitspec
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::UDiv: return "udiv";
+      case Opcode::SDiv: return "sdiv";
+      case Opcode::URem: return "urem";
+      case Opcode::SRem: return "srem";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::LShr: return "lshr";
+      case Opcode::AShr: return "ashr";
+      case Opcode::ICmp: return "icmp";
+      case Opcode::Select: return "select";
+      case Opcode::ZExt: return "zext";
+      case Opcode::SExt: return "sext";
+      case Opcode::Trunc: return "trunc";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::Call: return "call";
+      case Opcode::Output: return "output";
+      case Opcode::Phi: return "phi";
+      case Opcode::Br: return "br";
+      case Opcode::CondBr: return "condbr";
+      case Opcode::Ret: return "ret";
+      case Opcode::Unreachable: return "unreachable";
+    }
+    panic("opcodeName: bad opcode");
+}
+
+const char *
+cmpPredName(CmpPred pred)
+{
+    switch (pred) {
+      case CmpPred::EQ: return "eq";
+      case CmpPred::NE: return "ne";
+      case CmpPred::ULT: return "ult";
+      case CmpPred::ULE: return "ule";
+      case CmpPred::UGT: return "ugt";
+      case CmpPred::UGE: return "uge";
+      case CmpPred::SLT: return "slt";
+      case CmpPred::SLE: return "sle";
+      case CmpPred::SGT: return "sgt";
+      case CmpPred::SGE: return "sge";
+    }
+    panic("cmpPredName: bad predicate");
+}
+
+bool
+isTerminator(Opcode op)
+{
+    return op == Opcode::Br || op == Opcode::CondBr || op == Opcode::Ret ||
+           op == Opcode::Unreachable;
+}
+
+bool
+hasSpeculativeForm(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::ICmp:
+      case Opcode::Load:
+      case Opcode::Store:
+      case Opcode::Trunc:
+      case Opcode::ZExt:
+      case Opcode::Phi:
+      case Opcode::Select:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace bitspec

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Instruction set of the BitSpec IR.
+ *
+ * Besides the usual SSA instruction zoo, instructions carry the flags
+ * that Speculative IR (paper §3.1) needs: `speculative` marks operations
+ * whose bitwidth was reduced below the source type and must be monitored
+ * by hardware, and `guard` keeps an instruction alive through DCE when a
+ * downstream compare was folded away based on its speculation result
+ * (paper §3.2.4).
+ */
+
+#ifndef BITSPEC_IR_INSTRUCTION_H_
+#define BITSPEC_IR_INSTRUCTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/value.h"
+
+namespace bitspec
+{
+
+class BasicBlock;
+class Function;
+
+/** IR opcodes. */
+enum class Opcode
+{
+    // Arithmetic.
+    Add, Sub, Mul, UDiv, SDiv, URem, SRem,
+    // Bitwise.
+    And, Or, Xor, Shl, LShr, AShr,
+    // Comparison and selection.
+    ICmp, Select,
+    // Width changes.
+    ZExt, SExt, Trunc,
+    // Memory. Operand 0 of Load is the address; Store is (addr, value).
+    Load, Store,
+    // Calls and observable output. Output is the only volatile op.
+    Call, Output,
+    // SSA and control flow.
+    Phi, Br, CondBr, Ret, Unreachable,
+};
+
+/** Comparison predicates for ICmp. */
+enum class CmpPred
+{
+    EQ, NE, ULT, ULE, UGT, UGE, SLT, SLE, SGT, SGE,
+};
+
+/** Printable opcode mnemonic. */
+const char *opcodeName(Opcode op);
+
+/** Printable predicate mnemonic. */
+const char *cmpPredName(CmpPred pred);
+
+/** True for Br/CondBr/Ret/Unreachable. */
+bool isTerminator(Opcode op);
+
+/**
+ * True if the ISA offers a speculative 8-bit variant of @p op: the
+ * paper's Speculative? relation over Table 1 (add, sub, logic, compare,
+ * load, store, truncate, extend). Shifts, multiplies and divides have no
+ * speculative form and keep their original width.
+ */
+bool hasSpeculativeForm(Opcode op);
+
+/** A single IR instruction; doubles as its own result Value. */
+class Instruction : public Value
+{
+  public:
+    Instruction(Opcode op, Type type)
+        : Value(ValueKind::Instruction, type), op_(op)
+    {}
+
+    Opcode op() const { return op_; }
+    void setOp(Opcode op) { op_ = op; }
+
+    /** @name Operands */
+    /// @{
+    const std::vector<Value *> &operands() const { return operands_; }
+    Value *operand(size_t i) const { return operands_.at(i); }
+    size_t numOperands() const { return operands_.size(); }
+    void addOperand(Value *v) { operands_.push_back(v); }
+    void setOperand(size_t i, Value *v) { operands_.at(i) = v; }
+    void clearOperands() { operands_.clear(); }
+    void
+    removeOperand(size_t i)
+    {
+        operands_.erase(operands_.begin() + static_cast<long>(i));
+    }
+    /// @}
+
+    /**
+     * @name Block operands
+     * Phi: incoming block per operand. Br: [target]. CondBr:
+     * [true target, false target].
+     */
+    /// @{
+    const std::vector<BasicBlock *> &blockOperands() const
+    {
+        return blockOperands_;
+    }
+    BasicBlock *blockOperand(size_t i) const { return blockOperands_.at(i); }
+    void addBlockOperand(BasicBlock *bb) { blockOperands_.push_back(bb); }
+    void setBlockOperand(size_t i, BasicBlock *bb)
+    {
+        blockOperands_.at(i) = bb;
+    }
+    void
+    removeBlockOperand(size_t i)
+    {
+        blockOperands_.erase(blockOperands_.begin() + static_cast<long>(i));
+    }
+
+    /** Remove a phi's (value, block) pair at position @p i. */
+    void
+    removePhiIncoming(size_t i)
+    {
+        removeOperand(i);
+        removeBlockOperand(i);
+    }
+    /// @}
+
+    CmpPred pred() const { return pred_; }
+    void setPred(CmpPred p) { pred_ = p; }
+
+    Function *callee() const { return callee_; }
+    void setCallee(Function *f) { callee_ = f; }
+
+    BasicBlock *parent() const { return parent_; }
+    void setParent(BasicBlock *bb) { parent_ = bb; }
+
+    /** Hardware-monitored reduced-bitwidth operation (may misspeculate). */
+    bool isSpeculative() const { return speculative_; }
+    void setSpeculative(bool s) { speculative_ = s; }
+
+    /**
+     * For speculative instructions: the original bitwidth O(v) before
+     * narrowing. A speculative load reads this many bits from memory and
+     * misspeculates if the value exceeds its narrow type; a speculative
+     * truncate misspeculates if its operand exceeds the narrow type.
+     */
+    unsigned specOrigBits() const { return specOrigBits_; }
+    void setSpecOrigBits(unsigned b) { specOrigBits_ = b; }
+
+    /**
+     * Keep through DCE: a folded compare depends on this instruction's
+     * misspeculation side effect even though its value is unused.
+     */
+    bool isGuard() const { return guard_; }
+    void setGuard(bool g) { guard_ = g; }
+
+    bool isTerm() const { return isTerminator(op_); }
+    bool isPhi() const { return op_ == Opcode::Phi; }
+    /** Volatile/observable: may not be re-executed (paper Eq. 5). */
+    bool isVolatileOp() const { return op_ == Opcode::Output; }
+    bool isCall() const { return op_ == Opcode::Call; }
+
+    /** Dense per-function id assigned by Function::renumber(). */
+    unsigned id() const { return id_; }
+    void setId(unsigned id) { id_ = id; }
+
+  private:
+    Opcode op_;
+    std::vector<Value *> operands_;
+    std::vector<BasicBlock *> blockOperands_;
+    CmpPred pred_ = CmpPred::EQ;
+    Function *callee_ = nullptr;
+    BasicBlock *parent_ = nullptr;
+    bool speculative_ = false;
+    bool guard_ = false;
+    unsigned specOrigBits_ = 0;
+    unsigned id_ = 0;
+};
+
+} // namespace bitspec
+
+#endif // BITSPEC_IR_INSTRUCTION_H_

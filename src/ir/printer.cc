@@ -1,0 +1,127 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+#include "ir/module.h"
+
+namespace bitspec
+{
+
+namespace
+{
+
+std::string
+valueName(const Value *v)
+{
+    if (!v->name().empty())
+        return v->name();
+    if (v->isInstruction()) {
+        auto *inst = static_cast<const Instruction *>(v);
+        return "v" + std::to_string(inst->id());
+    }
+    return "anon";
+}
+
+} // namespace
+
+std::string
+printValueRef(const Value *v)
+{
+    switch (v->kind()) {
+      case ValueKind::Constant: {
+        auto *c = static_cast<const Constant *>(v);
+        return c->type().str() + " " + std::to_string(c->value());
+      }
+      case ValueKind::GlobalRef: {
+        auto *g = static_cast<const GlobalRef *>(v);
+        return "@" + g->global()->name();
+      }
+      case ValueKind::Argument:
+      case ValueKind::Instruction:
+        return "%" + valueName(v);
+    }
+    return "?";
+}
+
+namespace
+{
+
+void
+printInstruction(std::ostream &os, const Instruction &inst)
+{
+    os << "  ";
+    if (!inst.type().isVoid())
+        os << "%" << valueName(&inst) << " = ";
+    os << opcodeName(inst.op());
+    if (inst.op() == Opcode::ICmp)
+        os << " " << cmpPredName(inst.pred());
+    if (!inst.type().isVoid())
+        os << " " << inst.type().str();
+
+    if (inst.op() == Opcode::Phi) {
+        for (size_t i = 0; i < inst.numOperands(); ++i) {
+            os << (i ? ", " : " ");
+            os << "[" << printValueRef(inst.operand(i)) << ", %"
+               << inst.blockOperand(i)->name() << "]";
+        }
+    } else if (inst.op() == Opcode::Call) {
+        os << " @" << inst.callee()->name() << "(";
+        for (size_t i = 0; i < inst.numOperands(); ++i)
+            os << (i ? ", " : "") << printValueRef(inst.operand(i));
+        os << ")";
+    } else {
+        for (size_t i = 0; i < inst.numOperands(); ++i)
+            os << (i ? ", " : " ") << printValueRef(inst.operand(i));
+        for (BasicBlock *bb : inst.blockOperands())
+            os << ", label %" << bb->name();
+    }
+
+    if (inst.isSpeculative())
+        os << " !spec";
+    if (inst.isGuard())
+        os << " !guard";
+    os << "\n";
+}
+
+} // namespace
+
+std::string
+printFunction(const Function &f)
+{
+    std::ostringstream os;
+    os << "define " << f.retType().str() << " @" << f.name() << "(";
+    for (size_t i = 0; i < f.numArgs(); ++i) {
+        os << (i ? ", " : "") << f.arg(i)->type().str() << " %"
+           << f.arg(i)->name();
+    }
+    os << ") {\n";
+    for (const auto &bb : f.blocks()) {
+        os << bb->name() << ":";
+        if (SpecRegion *sr = f.regionOf(bb.get()))
+            os << "    ; in region -> handler %" << sr->handler->name();
+        if (f.regionOfHandler(bb.get()))
+            os << "    ; handler";
+        os << "\n";
+        for (const auto &inst : bb->insts())
+            printInstruction(os, *inst);
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+printModule(const Module &m)
+{
+    std::ostringstream os;
+    for (const auto &g : m.globals()) {
+        os << "@" << g->name() << " = global [" << g->elemCount() << " x i"
+           << g->elemBits() << "]\n";
+    }
+    if (!m.globals().empty())
+        os << "\n";
+    for (const auto &f : m.functions())
+        os << printFunction(*f) << "\n";
+    return os.str();
+}
+
+} // namespace bitspec

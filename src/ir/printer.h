@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Textual IR printer (LLVM-flavoured), used by tests and debugging.
+ */
+
+#ifndef BITSPEC_IR_PRINTER_H_
+#define BITSPEC_IR_PRINTER_H_
+
+#include <string>
+
+#include "ir/module.h"
+
+namespace bitspec
+{
+
+/** Print @p f as text. Speculative instructions carry "!spec". */
+std::string printFunction(const Function &f);
+
+/** Print the whole module. */
+std::string printModule(const Module &m);
+
+/** Render a single value reference (e.g. "%add.3", "i32 7", "@table"). */
+std::string printValueRef(const Value *v);
+
+} // namespace bitspec
+
+#endif // BITSPEC_IR_PRINTER_H_

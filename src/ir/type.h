@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Integer types for the BitSpec IR.
+ *
+ * Mirroring LLVM, the IR is signedness-free: a type is just a bit count.
+ * Signedness lives in the operations (SDiv/UDiv, SLT/ULT, SExt/ZExt).
+ * bits == 0 encodes the void type (Store/Br/Ret results); bits == 1 is
+ * the boolean produced by comparisons.
+ */
+
+#ifndef BITSPEC_IR_TYPE_H_
+#define BITSPEC_IR_TYPE_H_
+
+#include <string>
+
+namespace bitspec
+{
+
+/** An integer type: a bit count in {0 (void), 1, 8, 16, 32, 64}. */
+struct Type
+{
+    unsigned bits = 0;
+
+    constexpr Type() = default;
+    constexpr explicit Type(unsigned b) : bits(b) {}
+
+    constexpr bool isVoid() const { return bits == 0; }
+    constexpr bool isBool() const { return bits == 1; }
+    constexpr bool isInt() const { return bits > 0; }
+
+    constexpr bool operator==(const Type &o) const { return bits == o.bits; }
+    constexpr bool operator!=(const Type &o) const { return bits != o.bits; }
+
+    std::string
+    str() const
+    {
+        if (isVoid())
+            return "void";
+        return "i" + std::to_string(bits);
+    }
+
+    static constexpr Type voidTy() { return Type(0); }
+    static constexpr Type i1() { return Type(1); }
+    static constexpr Type i8() { return Type(8); }
+    static constexpr Type i16() { return Type(16); }
+    static constexpr Type i32() { return Type(32); }
+    static constexpr Type i64() { return Type(64); }
+};
+
+} // namespace bitspec
+
+#endif // BITSPEC_IR_TYPE_H_

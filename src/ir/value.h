@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Value hierarchy for the BitSpec IR: constants, arguments, globals and
+ * instruction results. Instructions subclass Value so an instruction's
+ * result is the instruction itself, as in LLVM.
+ */
+
+#ifndef BITSPEC_IR_VALUE_H_
+#define BITSPEC_IR_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ir/type.h"
+
+namespace bitspec
+{
+
+class Global;
+
+/** Discriminator for the Value hierarchy. */
+enum class ValueKind
+{
+    Constant,
+    Argument,
+    GlobalRef,
+    Instruction,
+};
+
+/** Base class of everything an instruction can take as an operand. */
+class Value
+{
+  public:
+    Value(ValueKind kind, Type type) : kind_(kind), type_(type) {}
+    virtual ~Value() = default;
+
+    Value(const Value &) = delete;
+    Value &operator=(const Value &) = delete;
+
+    ValueKind kind() const { return kind_; }
+    Type type() const { return type_; }
+    void setType(Type t) { type_ = t; }
+
+    const std::string &name() const { return name_; }
+    void setName(std::string n) { name_ = std::move(n); }
+
+    bool isConstant() const { return kind_ == ValueKind::Constant; }
+    bool isInstruction() const { return kind_ == ValueKind::Instruction; }
+
+  private:
+    ValueKind kind_;
+    Type type_;
+    std::string name_;
+};
+
+/** An integer constant. Owned and deduplicated by the Module. */
+class Constant : public Value
+{
+  public:
+    Constant(Type type, uint64_t value)
+        : Value(ValueKind::Constant, type), value_(value)
+    {}
+
+    /** Raw value, already truncated to the type's width. */
+    uint64_t value() const { return value_; }
+
+  private:
+    uint64_t value_;
+};
+
+/** A formal parameter of a Function. */
+class Argument : public Value
+{
+  public:
+    Argument(Type type, unsigned index)
+        : Value(ValueKind::Argument, type), index_(index)
+    {}
+
+    unsigned index() const { return index_; }
+
+  private:
+    unsigned index_;
+};
+
+/**
+ * The address of a Global, materialised as an i32 value. The concrete
+ * address is assigned when the module's memory image is laid out.
+ */
+class GlobalRef : public Value
+{
+  public:
+    explicit GlobalRef(Global *global)
+        : Value(ValueKind::GlobalRef, Type::i32()), global_(global)
+    {}
+
+    Global *global() const { return global_; }
+
+  private:
+    Global *global_;
+};
+
+} // namespace bitspec
+
+#endif // BITSPEC_IR_VALUE_H_

@@ -1,0 +1,195 @@
+#include "isa/encoding.h"
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace bitspec
+{
+
+namespace
+{
+
+enum class Fmt { Alu, Mov, Branch, MovW, Sys, Bare };
+
+Fmt
+formatOf(MOp op)
+{
+    switch (op) {
+      case MOp::MOV: case MOp::MOV8: case MOp::MVN: case MOp::SETCC:
+        return Fmt::Mov;
+      case MOp::B: case MOp::BL:
+        return Fmt::Branch;
+      case MOp::MOVW: case MOp::MOVT:
+        return Fmt::MovW;
+      case MOp::SETDELTA: case MOp::MODE:
+        return Fmt::Sys;
+      case MOp::BXLR: case MOp::HALT: case MOp::NOP:
+        return Fmt::Bare;
+      default:
+        return Fmt::Alu;
+    }
+}
+
+uint32_t
+encodeOpnd(const MOpnd &o)
+{
+    switch (o.kind) {
+      case MOpndKind::None:
+        return 0;
+      case MOpndKind::Reg:
+        return static_cast<uint32_t>(o.reg) << 2;
+      case MOpndKind::Slice:
+        return (1u << 6) | (static_cast<uint32_t>(o.reg) << 2) |
+               o.slice;
+      default:
+        panic("encodeOpnd: unencodable operand kind");
+    }
+}
+
+MOpnd
+decodeOpnd(uint32_t bits)
+{
+    if (bits & (1u << 6))
+        return MOpnd::makeSlice((bits >> 2) & 0xf, bits & 3);
+    return MOpnd::makeReg((bits >> 2) & 0xf);
+}
+
+} // namespace
+
+uint32_t
+encodeInst(const MachInst &inst, uint32_t self_index)
+{
+    uint32_t op = static_cast<uint32_t>(inst.op) << 26;
+    switch (formatOf(inst.op)) {
+      case Fmt::Alu: {
+        uint32_t spec = inst.speculative ? 1u : 0u;
+        if (inst.op == MOp::LDRS8)
+            spec = inst.origBits == 16 ? 1u : 0u;
+        uint32_t w = op | (spec << 24) |
+                     (encodeOpnd(inst.dst) << 17) |
+                     (encodeOpnd(inst.a) << 10);
+        if (inst.b.isImm()) {
+            bsAssert(inst.b.imm >= 0 && inst.b.imm <= 1023,
+                     "ALU immediate out of range: " + inst.str());
+            w |= (1u << 25) | static_cast<uint32_t>(inst.b.imm);
+        } else {
+            w |= encodeOpnd(inst.b) << 3;
+        }
+        return w;
+      }
+      case Fmt::Mov: {
+        uint32_t w = op | (static_cast<uint32_t>(inst.cond) << 22) |
+                     (encodeOpnd(inst.dst) << 14);
+        if (inst.a.isImm()) {
+            bsAssert(inst.a.imm >= 0 && inst.a.imm <= 4095,
+                     "MOV immediate out of range: " + inst.str());
+            w |= (1u << 21) |
+                 ((static_cast<uint32_t>(inst.a.imm) & 0xfff) << 2);
+        } else if (inst.a.kind != MOpndKind::None) {
+            w |= encodeOpnd(inst.a) << 7;
+        }
+        return w;
+      }
+      case Fmt::Branch: {
+        int32_t rel = inst.target - static_cast<int32_t>(self_index);
+        bsAssert(rel >= -(1 << 21) && rel < (1 << 21),
+                 "branch offset out of range");
+        return op | (static_cast<uint32_t>(inst.cond) << 22) |
+               (static_cast<uint32_t>(rel) & 0x3fffff);
+      }
+      case Fmt::MovW: {
+        bsAssert(inst.a.isImm() && inst.a.imm >= 0 &&
+                 inst.a.imm <= 0xffff, "MOVW immediate out of range");
+        return op | (encodeOpnd(inst.dst) << 19) |
+               (static_cast<uint32_t>(inst.a.imm) & 0xffff);
+      }
+      case Fmt::Sys: {
+        bsAssert(inst.a.isImm() && inst.a.imm >= 0 &&
+                 inst.a.imm < (1 << 24), "system immediate too large");
+        return op | static_cast<uint32_t>(inst.a.imm);
+      }
+      case Fmt::Bare:
+        return op | (encodeOpnd(inst.a) << 10);
+    }
+    panic("encodeInst: bad format");
+}
+
+MachInst
+decodeInst(uint32_t word, uint32_t self_index)
+{
+    MachInst inst;
+    inst.op = static_cast<MOp>(word >> 26);
+    switch (formatOf(inst.op)) {
+      case Fmt::Alu: {
+        bool immf = (word >> 25) & 1;
+        bool spec = (word >> 24) & 1;
+        inst.dst = decodeOpnd((word >> 17) & 0x7f);
+        inst.a = decodeOpnd((word >> 10) & 0x7f);
+        if (immf)
+            inst.b = MOpnd::makeImm(word & 0x3ff);
+        else
+            inst.b = decodeOpnd((word >> 3) & 0x7f);
+        if (inst.op == MOp::LDRS8) {
+            inst.speculative = true;
+            inst.origBits = spec ? 16 : 32;
+        } else {
+            inst.speculative = spec;
+        }
+        if (inst.op == MOp::CMP || inst.op == MOp::CMP8 ||
+            inst.op == MOp::OUT) {
+            inst.dst = MOpnd{};
+        }
+        return inst;
+      }
+      case Fmt::Mov: {
+        inst.cond = static_cast<Cond>((word >> 22) & 0xf);
+        bool immf = (word >> 21) & 1;
+        inst.dst = decodeOpnd((word >> 14) & 0x7f);
+        if (immf)
+            inst.a = MOpnd::makeImm((word >> 2) & 0xfff);
+        else if (inst.op != MOp::SETCC)
+            inst.a = decodeOpnd((word >> 7) & 0x7f);
+        return inst;
+      }
+      case Fmt::Branch: {
+        inst.cond = static_cast<Cond>((word >> 22) & 0xf);
+        int32_t rel = static_cast<int32_t>(word << 10) >> 10;
+        inst.target = static_cast<int>(self_index) + rel;
+        return inst;
+      }
+      case Fmt::MovW:
+        inst.dst = decodeOpnd((word >> 19) & 0x7f);
+        inst.a = MOpnd::makeImm(word & 0xffff);
+        return inst;
+      case Fmt::Sys:
+        inst.a = MOpnd::makeImm(word & 0xffffff);
+        return inst;
+      case Fmt::Bare:
+        if (inst.op == MOp::OUT)
+            inst.a = decodeOpnd((word >> 10) & 0x7f);
+        return inst;
+    }
+    panic("decodeInst: bad format");
+}
+
+std::vector<uint32_t>
+encodeProgram(const std::vector<MachInst> &insts)
+{
+    std::vector<uint32_t> out;
+    out.reserve(insts.size());
+    for (uint32_t i = 0; i < insts.size(); ++i)
+        out.push_back(encodeInst(insts[i], i));
+    return out;
+}
+
+std::vector<MachInst>
+decodeProgram(const std::vector<uint32_t> &words)
+{
+    std::vector<MachInst> out;
+    out.reserve(words.size());
+    for (uint32_t i = 0; i < words.size(); ++i)
+        out.push_back(decodeInst(words[i], i));
+    return out;
+}
+
+} // namespace bitspec

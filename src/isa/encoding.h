@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Binary encoding of EMB32 instructions (fixed 32-bit words).
+ *
+ * Formats (op always in bits [31:26]):
+ *  - ALU/mem:  [op][immf][spec][d:7][a:7][b:7 | imm:10]
+ *  - MOV-like: [op][cond:4][immf][d:7][s:7 | imm:12]
+ *  - Branch:   [op][cond:4][offset:22 signed, instruction units]
+ *  - MOVW/T:   [op][d:7][imm:16]
+ *  - System:   [op][imm:24]
+ *
+ * A register operand is 7 bits: [isSlice][reg:4][slice:2]. Provenance
+ * tags (spill/copy/skeleton) are compiler metadata and not encoded.
+ */
+
+#ifndef BITSPEC_ISA_ENCODING_H_
+#define BITSPEC_ISA_ENCODING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace bitspec
+{
+
+/** Encode one instruction. Branch targets must already be resolved
+ *  to flat indices; @p self_index supplies the PC-relative base. */
+uint32_t encodeInst(const MachInst &inst, uint32_t self_index);
+
+/** Decode one instruction word. */
+MachInst decodeInst(uint32_t word, uint32_t self_index);
+
+/** Encode a whole instruction stream. */
+std::vector<uint32_t> encodeProgram(const std::vector<MachInst> &insts);
+
+/** Decode a whole instruction stream. */
+std::vector<MachInst> decodeProgram(const std::vector<uint32_t> &words);
+
+} // namespace bitspec
+
+#endif // BITSPEC_ISA_ENCODING_H_

@@ -1,0 +1,83 @@
+#include "support/bits.h"
+
+#include <bit>
+
+#include "support/error.h"
+
+namespace bitspec
+{
+
+unsigned
+requiredBits(uint64_t value)
+{
+    if (value == 0)
+        return 1;
+    return 64u - static_cast<unsigned>(std::countl_zero(value));
+}
+
+unsigned
+requiredBitsSigned(int64_t value)
+{
+    // Smallest n with sextFrom(value, n) == value. For non-negative
+    // values this is requiredBits(value) + 1 (room for the sign bit);
+    // for negative values, fold the sign away and count. 0 and -1 are
+    // representable in a single bit.
+    if (value == 0 || value == -1)
+        return 1;
+    if (value > 0)
+        return requiredBits(static_cast<uint64_t>(value)) + 1;
+    uint64_t folded = static_cast<uint64_t>(~value);
+    return requiredBits(folded) + 1;
+}
+
+unsigned
+bitwidthClass(unsigned bits)
+{
+    if (bits <= 8)
+        return 8;
+    if (bits <= 16)
+        return 16;
+    if (bits <= 32)
+        return 32;
+    return 64;
+}
+
+uint64_t
+lowMask(unsigned bits)
+{
+    bsAssert(bits >= 1 && bits <= 64, "lowMask: bits out of range");
+    if (bits == 64)
+        return ~0ULL;
+    return (1ULL << bits) - 1;
+}
+
+uint64_t
+truncTo(uint64_t value, unsigned bits)
+{
+    return value & lowMask(bits);
+}
+
+uint64_t
+zextFrom(uint64_t value, unsigned bits)
+{
+    return truncTo(value, bits);
+}
+
+uint64_t
+sextFrom(uint64_t value, unsigned bits)
+{
+    bsAssert(bits >= 1 && bits <= 64, "sextFrom: bits out of range");
+    uint64_t v = truncTo(value, bits);
+    if (bits == 64)
+        return v;
+    uint64_t sign = 1ULL << (bits - 1);
+    return (v ^ sign) - sign;
+}
+
+bool
+fitsUnsigned(uint64_t value, unsigned bits)
+{
+    return requiredBits(value) <= bits;
+}
+
+} // namespace bitspec

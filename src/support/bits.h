@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Bit-level utilities shared across the compiler and the simulator.
+ *
+ * The central definition is requiredBits(), the paper's
+ * RequiredBits(a) = floor(lg a + 1): the number of low-order bits needed
+ * to store a value without information loss under zero extension.
+ */
+
+#ifndef BITSPEC_SUPPORT_BITS_H_
+#define BITSPEC_SUPPORT_BITS_H_
+
+#include <cstdint>
+
+namespace bitspec
+{
+
+/**
+ * Number of bits required to represent @p value under zero extension.
+ *
+ * requiredBits(0) == 1 by convention (one bit stores a zero), matching
+ * the paper's floor(lg a + 1) with the a == 0 case pinned to 1.
+ */
+unsigned requiredBits(uint64_t value);
+
+/**
+ * Number of bits required for a two's-complement signed value, i.e. the
+ * smallest n such that sign-extending the low n bits of @p value
+ * reproduces @p value.
+ */
+unsigned requiredBitsSigned(int64_t value);
+
+/**
+ * Round a bit count up to the nearest storage class used throughout the
+ * paper's figures: 8, 16, 32 or 64.
+ */
+unsigned bitwidthClass(unsigned bits);
+
+/** Mask covering the low @p bits bits (bits in [1, 64]). */
+uint64_t lowMask(unsigned bits);
+
+/** Truncate @p value to its low @p bits bits. */
+uint64_t truncTo(uint64_t value, unsigned bits);
+
+/** Zero-extend the low @p bits bits of @p value to 64 bits. */
+uint64_t zextFrom(uint64_t value, unsigned bits);
+
+/** Sign-extend the low @p bits bits of @p value to 64 bits. */
+uint64_t sextFrom(uint64_t value, unsigned bits);
+
+/** True iff @p value fits in @p bits bits under zero extension. */
+bool fitsUnsigned(uint64_t value, unsigned bits);
+
+} // namespace bitspec
+
+#endif // BITSPEC_SUPPORT_BITS_H_

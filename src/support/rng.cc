@@ -1,0 +1,76 @@
+#include "support/rng.h"
+
+#include "support/error.h"
+
+namespace bitspec
+{
+
+namespace
+{
+
+uint64_t
+splitmix64(uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    bsAssert(bound != 0, "nextBelow: zero bound");
+    // Rejection sampling to remove modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+uint64_t
+Rng::nextRange(uint64_t lo, uint64_t hi)
+{
+    bsAssert(lo <= hi, "nextRange: empty range");
+    return lo + nextBelow(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+} // namespace bitspec

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * Every stochastic element of the reproduction (input generators,
+ * synthetic images, property tests) is seeded explicitly so that runs
+ * are bit-reproducible across machines.
+ */
+
+#ifndef BITSPEC_SUPPORT_RNG_H_
+#define BITSPEC_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+namespace bitspec
+{
+
+/** xoshiro256** generator with splitmix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed);
+
+    /** Next raw 64-bit draw. */
+    uint64_t next();
+
+    /** Uniform draw in [0, bound). @p bound must be nonzero. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform draw in [lo, hi] inclusive. */
+    uint64_t nextRange(uint64_t lo, uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace bitspec
+
+#endif // BITSPEC_SUPPORT_RNG_H_

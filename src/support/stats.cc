@@ -1,0 +1,50 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace bitspec
+{
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double logsum = 0.0;
+    for (double x : xs) {
+        bsAssert(x > 0.0, "geomean: non-positive value");
+        logsum += std::log(x);
+    }
+    return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    bsAssert(!xs.empty(), "percentile: empty sample");
+    bsAssert(p >= 0.0 && p <= 100.0, "percentile: p out of range");
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1)
+        return xs[0];
+    double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    auto lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, xs.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+} // namespace bitspec

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Small statistics helpers used by the experiment harnesses.
+ */
+
+#ifndef BITSPEC_SUPPORT_STATS_H_
+#define BITSPEC_SUPPORT_STATS_H_
+
+#include <vector>
+
+namespace bitspec
+{
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double> &xs);
+
+/** Geometric mean; 0 for an empty vector. Values must be positive. */
+double geomean(const std::vector<double> &xs);
+
+/**
+ * Linear-interpolated percentile (p in [0, 100]) of a copy of @p xs.
+ * Used for the cumulative-distribution experiment (Fig. 16).
+ */
+double percentile(std::vector<double> xs, double p);
+
+} // namespace bitspec
+
+#endif // BITSPEC_SUPPORT_STATS_H_

@@ -1,0 +1,54 @@
+#include "support/str.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace bitspec
+{
+
+std::string
+strFormat(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args2;
+    va_copy(args2, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out(static_cast<size_t>(len), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+    va_end(args2);
+    return out;
+}
+
+std::vector<std::string>
+strSplit(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    for (size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == sep) {
+            out.push_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::string
+padLeft(const std::string &s, size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return std::string(width - s.size(), ' ') + s;
+}
+
+std::string
+padRight(const std::string &s, size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return s + std::string(width - s.size(), ' ');
+}
+
+} // namespace bitspec

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * CFG preparation: pass ① of the squeezer (paper §3.2.3).
+ *
+ * Splits basic blocks so that:
+ *  - Eq. 4: no block contains both loads and stores (no WAR
+ *    dependencies; loads-only and stores-only blocks are idempotent).
+ *  - Eq. 5: every call/volatile operation sits alone between
+ *    terminator-free split points (non-idempotent ops isolated).
+ *  - Eq. 6: no block mixes phi and non-phi instructions.
+ */
+
+#ifndef BITSPEC_TRANSFORM_CFG_PREP_H_
+#define BITSPEC_TRANSFORM_CFG_PREP_H_
+
+#include "ir/module.h"
+
+namespace bitspec
+{
+
+/** Apply Eq. 4–6 splitting to @p f. Returns the number of splits. */
+unsigned prepareCFG(Function &f);
+
+} // namespace bitspec
+
+#endif // BITSPEC_TRANSFORM_CFG_PREP_H_

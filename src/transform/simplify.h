@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Scalar cleanup transforms: trivial-phi simplification, dead code
+ * elimination and constant folding. Used by the front-end (SSA
+ * construction leaves redundant phis) and by the squeezer (paper
+ * §3.2.3 pass ② ends with "a simple dead code elimination").
+ */
+
+#ifndef BITSPEC_TRANSFORM_SIMPLIFY_H_
+#define BITSPEC_TRANSFORM_SIMPLIFY_H_
+
+#include "ir/module.h"
+
+namespace bitspec
+{
+
+/**
+ * Remove phis that reference a single distinct value (besides
+ * themselves), iterating to a fixed point. Phis with no operands
+ * (unreachable merge points) are replaced by zero. Returns the number
+ * of phis removed.
+ */
+unsigned simplifyTrivialPhis(Function &f);
+
+/**
+ * Remove instructions whose results are unused and which have no side
+ * effects. Instructions marked as guards (compare elimination keeps the
+ * speculation effect alive, §3.2.4) and speculative instructions inside
+ * regions are preserved. Returns the number removed.
+ */
+unsigned deadCodeElim(Function &f);
+
+/**
+ * Fold instructions with all-constant operands and resolve constant
+ * conditional branches. Returns the number of folds performed.
+ */
+unsigned constantFold(Function &f);
+
+/** Run the full cleanup pipeline to a fixed point. */
+void simplifyFunction(Function &f);
+
+/** simplifyFunction over every function in @p m. */
+void simplifyModule(Module &m);
+
+} // namespace bitspec
+
+#endif // BITSPEC_TRANSFORM_SIMPLIFY_H_

@@ -1,0 +1,197 @@
+#include "transform/ssa_repair.h"
+
+#include <map>
+
+#include "analysis/cfg.h"
+#include "support/error.h"
+
+namespace bitspec
+{
+
+namespace
+{
+
+class Repairer
+{
+  public:
+    Repairer(Function &f, Value *orig, const std::vector<AltDef> &alts)
+        : f_(f), orig_(orig),
+          preds_(predecessorMap(f, /*handler_edges=*/false))
+    {
+        if (orig->isInstruction())
+            origBlock_ = static_cast<Instruction *>(orig)->parent();
+
+        // Create the re-entry phis up front so reaching-def queries
+        // terminate at them.
+        for (const AltDef &alt : alts) {
+            auto phi = std::make_unique<Instruction>(Opcode::Phi,
+                                                     orig->type());
+            phi->setName("merge");
+            Instruction *raw = phi.get();
+            raw->setParent(alt.block);
+            alt.block->insertBefore(alt.block->insts().begin(),
+                                    std::move(phi));
+            blockDefs_[alt.block] = raw;
+            newPhis_.insert(raw);
+        }
+
+        // Collect pre-existing uses before filling phis.
+        for (auto &bb : f_.blocks()) {
+            for (auto &inst : bb->insts()) {
+                if (newPhis_.count(inst.get()))
+                    continue;
+                for (size_t i = 0; i < inst->numOperands(); ++i)
+                    if (inst->operand(i) == orig_)
+                        uses_.push_back({inst.get(), i});
+            }
+        }
+
+        // Fill the re-entry phi operands.
+        for (const AltDef &alt : alts) {
+            Instruction *phi = blockDefs_.at(alt.block);
+            for (BasicBlock *p : preds_[alt.block]) {
+                if (p == alt.handlerPred) {
+                    phi->addOperand(alt.handlerValue);
+                } else {
+                    phi->addOperand(reachEnd(p));
+                }
+                phi->addBlockOperand(p);
+            }
+        }
+
+        // Rewrite the collected uses.
+        for (const auto &[user, index] : uses_) {
+            Value *repl;
+            if (user->isPhi()) {
+                repl = reachEnd(user->blockOperand(index));
+            } else {
+                BasicBlock *bb = user->parent();
+                if (blockDefs_.count(bb)) {
+                    repl = blockDefs_[bb];
+                } else if (bb == origBlock_ &&
+                           definesBefore(orig_, user, bb)) {
+                    continue; // Straight-line use after the def.
+                } else {
+                    repl = reachEntry(bb);
+                }
+            }
+            user->setOperand(index, repl);
+        }
+    }
+
+  private:
+    static bool
+    definesBefore(Value *def, Instruction *user, BasicBlock *bb)
+    {
+        if (!def->isInstruction())
+            return true; // Arguments are defined at entry.
+        for (const auto &inst : bb->insts()) {
+            if (inst.get() == def)
+                return true;
+            if (inst.get() == user)
+                return false;
+        }
+        return false;
+    }
+
+    Value *
+    reachEnd(BasicBlock *bb)
+    {
+        auto it = blockDefs_.find(bb);
+        if (it != blockDefs_.end())
+            return it->second;
+        if (bb == origBlock_)
+            return orig_;
+        return reachEntry(bb);
+    }
+
+    Value *
+    reachEntry(BasicBlock *bb)
+    {
+        auto it = memo_.find(bb);
+        if (it != memo_.end())
+            return it->second;
+
+        const auto &preds = preds_[bb];
+        if (preds.empty()) {
+            // Entry or unreachable block: only an argument can
+            // legitimately reach here; otherwise any placeholder is
+            // fine (valid SSA guarantees such a path never uses it).
+            Value *v = orig_->isInstruction()
+                           ? static_cast<Value *>(
+                                 f_.parent()->getConst(orig_->type(), 0))
+                           : orig_;
+            memo_[bb] = v;
+            return v;
+        }
+        if (preds.size() == 1) {
+            // No placeholder memoisation: an in-progress marker would
+            // leak into sibling resolutions revisiting this block
+            // (shared ancestors in unrolled loops). Recursing again is
+            // safe: every reachable cycle contains a join, and joins
+            // memoise their phi before resolving inputs, so a second
+            // traversal terminates there. Only degenerate join-less
+            // cycles (unreachable garbage) need the bail-out.
+            unsigned &depth = visiting_[bb];
+            if (depth >= 2) {
+                Value *v = orig_->isInstruction()
+                               ? static_cast<Value *>(f_.parent()->getConst(
+                                     orig_->type(), 0))
+                               : orig_;
+                memo_[bb] = v;
+                return v;
+            }
+            ++depth;
+            Value *v = reachEnd(preds[0]);
+            --depth;
+            memo_[bb] = v;
+            return v;
+        }
+
+        // Join: speculative phi, memoised before recursion to close
+        // loops. Trivial ones are cleaned by simplifyTrivialPhis.
+        auto phi = std::make_unique<Instruction>(Opcode::Phi,
+                                                 orig_->type());
+        phi->setName("ssarep");
+        Instruction *raw = phi.get();
+        raw->setParent(bb);
+        bb->insertBefore(bb->insts().begin(), std::move(phi));
+        memo_[bb] = raw;
+        for (BasicBlock *p : preds) {
+            raw->addOperand(reachEnd(p));
+            raw->addBlockOperand(p);
+        }
+        return raw;
+    }
+
+    Function &f_;
+    Value *orig_;
+    BasicBlock *origBlock_ = nullptr;
+    std::map<const BasicBlock *, std::vector<BasicBlock *>> preds_;
+    std::map<BasicBlock *, Instruction *> blockDefs_;
+    std::set<Instruction *> newPhis_;
+    std::map<BasicBlock *, unsigned> visiting_;
+    std::map<BasicBlock *, Value *> memo_;
+    std::vector<std::pair<Instruction *, size_t>> uses_;
+};
+
+} // namespace
+
+void
+repairSSA(Function &f, Value *orig_def, const std::vector<AltDef> &alts)
+{
+    for (const AltDef &a : alts) {
+        bsAssert(a.handlerValue->type() == orig_def->type(),
+                 "repairSSA: type mismatch: orig %" +
+                     orig_def->name() + " " + orig_def->type().str() +
+                     " vs handler value %" + a.handlerValue->name() +
+                     " " + a.handlerValue->type().str() + " at " +
+                     a.block->name());
+        bsAssert(a.block && a.handlerPred, "repairSSA: bad alt def");
+    }
+    if (alts.empty())
+        return;
+    Repairer(f, orig_def, alts);
+}
+
+} // namespace bitspec

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * SSA repair after introducing alternate definitions of a value.
+ *
+ * When a misspeculation handler re-enters CFG_orig at BB_orig, every
+ * value live into BB_orig gains a second definition (the phi of
+ * Eq. 8 merging the handler's extension with the original). Uses
+ * reachable from any BB_orig must then be rewritten, inserting join
+ * phis on demand — the classic SSAUpdater problem, generalised here
+ * to many handlers feeding many re-entry blocks for one value.
+ */
+
+#ifndef BITSPEC_TRANSFORM_SSA_REPAIR_H_
+#define BITSPEC_TRANSFORM_SSA_REPAIR_H_
+
+#include <vector>
+
+#include "ir/module.h"
+
+namespace bitspec
+{
+
+/** One re-entry point for a repaired value. */
+struct AltDef
+{
+    /** Block entered from the handler (BB_orig). A phi is created at
+     *  its top. */
+    BasicBlock *block = nullptr;
+    /** The handler predecessor of @p block. */
+    BasicBlock *handlerPred = nullptr;
+    /** Value flowing in from the handler (the Eq. 8 extension). */
+    Value *handlerValue = nullptr;
+};
+
+/**
+ * Rewrite uses of @p orig_def so that paths flowing through any
+ * AltDef block observe the merged value, inserting phis at joins on
+ * demand. Each AltDef gets a phi at the top of its block whose
+ * incoming from @p handlerPred is @p handlerValue and whose other
+ * incomings are the reaching definitions. Types must all match.
+ */
+void repairSSA(Function &f, Value *orig_def,
+               const std::vector<AltDef> &alts);
+
+} // namespace bitspec
+
+#endif // BITSPEC_TRANSFORM_SSA_REPAIR_H_

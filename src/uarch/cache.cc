@@ -1,0 +1,85 @@
+#include "uarch/cache.h"
+
+#include "support/error.h"
+
+namespace bitspec
+{
+
+Cache::Cache(uint32_t size_bytes, uint32_t assoc, uint32_t line_bytes)
+    : assoc_(assoc), lineBytes_(line_bytes)
+{
+    bsAssert(size_bytes % (assoc * line_bytes) == 0,
+             "cache geometry must divide evenly");
+    sets_ = size_bytes / (assoc * line_bytes);
+    lines_.resize(sets_ * assoc_);
+}
+
+bool
+Cache::access(uint32_t addr, bool is_write)
+{
+    ++stats_.accesses;
+    ++tick_;
+    uint32_t line_addr = addr / lineBytes_;
+    uint32_t set = line_addr % sets_;
+    uint32_t tag = line_addr / sets_;
+    Line *ways = &lines_[set * assoc_];
+
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        if (ways[w].valid && ways[w].tag == tag) {
+            ways[w].lastUse = tick_;
+            ways[w].dirty |= is_write;
+            return true;
+        }
+    }
+
+    ++stats_.misses;
+    // LRU victim.
+    uint32_t victim = 0;
+    for (uint32_t w = 1; w < assoc_; ++w) {
+        if (!ways[w].valid) {
+            victim = w;
+            break;
+        }
+        if (ways[w].lastUse < ways[victim].lastUse)
+            victim = w;
+    }
+    if (ways[victim].valid && ways[victim].dirty)
+        ++stats_.writebacks;
+    ways[victim] = Line{true, is_write, tag, tick_};
+    return false;
+}
+
+MemoryHierarchy::MemoryHierarchy()
+    : l1i_(8 * 1024, 4, 32), l1d_(8 * 1024, 4, 32),
+      l2_(256 * 1024, 8, 32)
+{}
+
+uint32_t
+MemoryHierarchy::missPath(uint32_t addr, bool is_write)
+{
+    if (l2_.access(addr, is_write))
+        return kL2HitCycles;
+    if (is_write)
+        ++dram_.writes;
+    else
+        ++dram_.reads;
+    return kL2HitCycles + kDramCycles;
+}
+
+uint32_t
+MemoryHierarchy::fetch(uint32_t addr)
+{
+    if (l1i_.access(addr, false))
+        return 0;
+    return missPath(addr, false);
+}
+
+uint32_t
+MemoryHierarchy::data(uint32_t addr, bool is_write)
+{
+    if (l1d_.access(addr, is_write))
+        return 0;
+    return missPath(addr, is_write);
+}
+
+} // namespace bitspec

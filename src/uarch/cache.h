@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Set-associative cache hierarchy: 8 KiB 4-way L1 I/D caches backed
+ * by a 256 KiB L2 and a flat-latency DRAM model (the paper's memory
+ * system, §4.1: gem5-style caches + DRAMSim substitute).
+ *
+ * The model is performance/energy-only: data lives in the simulator's
+ * flat memory; caches track tags for hit/miss behaviour, write-back
+ * dirty state and access counts.
+ */
+
+#ifndef BITSPEC_UARCH_CACHE_H_
+#define BITSPEC_UARCH_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace bitspec
+{
+
+/** Access statistics of one cache level. */
+struct CacheStats
+{
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+    uint64_t writebacks = 0;
+};
+
+/** One set-associative write-back cache with LRU replacement. */
+class Cache
+{
+  public:
+    Cache(uint32_t size_bytes, uint32_t assoc, uint32_t line_bytes);
+
+    /**
+     * Access @p addr; returns true on hit. Misses fill the line
+     * (write-allocate); evicted dirty lines count as writebacks.
+     * @p is_write marks the line dirty.
+     */
+    bool access(uint32_t addr, bool is_write);
+
+    const CacheStats &stats() const { return stats_; }
+    void resetStats() { stats_ = CacheStats{}; }
+    uint32_t lineBytes() const { return lineBytes_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        uint32_t tag = 0;
+        uint64_t lastUse = 0;
+    };
+
+    uint32_t sets_;
+    uint32_t assoc_;
+    uint32_t lineBytes_;
+    std::vector<Line> lines_; ///< sets_ * assoc_, row-major by set.
+    uint64_t tick_ = 0;
+    CacheStats stats_;
+};
+
+/** DRAM access counters (latency/energy applied by the core model). */
+struct DramStats
+{
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+};
+
+/** The full hierarchy: L1I + L1D -> unified L2 -> DRAM. */
+class MemoryHierarchy
+{
+  public:
+    MemoryHierarchy();
+
+    /** Instruction fetch at @p addr; returns the added stall cycles. */
+    uint32_t fetch(uint32_t addr);
+
+    /** Data access; returns the added stall cycles beyond the L1 hit
+     *  pipeline latency. */
+    uint32_t data(uint32_t addr, bool is_write);
+
+    const CacheStats &l1i() const { return l1i_.stats(); }
+    const CacheStats &l1d() const { return l1d_.stats(); }
+    const CacheStats &l2() const { return l2_.stats(); }
+    const DramStats &dram() const { return dram_; }
+
+    /** @name Latency parameters (cycles). */
+    /// @{
+    static constexpr uint32_t kL2HitCycles = 8;
+    static constexpr uint32_t kDramCycles = 60;
+    /// @}
+
+  private:
+    uint32_t missPath(uint32_t addr, bool is_write);
+
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+    DramStats dram_;
+};
+
+} // namespace bitspec
+
+#endif // BITSPEC_UARCH_CACHE_H_

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The core model: a 32-bit, single-issue, in-order, 6-stage pipeline
+ * with the BitSpec µarchitectural extensions (paper §3.5/§4.1):
+ * byte-enable register-slice access, a segmented ALU that reports
+ * misspeculation from slice-boundary carries, and the PC += Δ
+ * redirect into skeleton blocks.
+ *
+ * Timing is modelled with an in-order scoreboard: one instruction per
+ * cycle, plus operand-readiness stalls (load-use, multiply/divide
+ * latency), taken-branch flushes, cache misses and misspeculation
+ * redirects. Functional state is exact, so machine runs are checked
+ * bit-for-bit against the IR interpreter.
+ */
+
+#ifndef BITSPEC_UARCH_CORE_H_
+#define BITSPEC_UARCH_CORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "backend/mir.h"
+#include "ir/module.h"
+#include "uarch/cache.h"
+#include "uarch/counters.h"
+
+namespace bitspec
+{
+
+/** Executes linked EMB32 programs. */
+class Core
+{
+  public:
+    static constexpr size_t kMemBytes = 1 << 22;
+    static constexpr uint64_t kDefaultFuel = 600'000'000;
+
+    /** @param program Linked program. @param m Module providing the
+     *  global-data image (copied at reset). */
+    Core(const MachProgram &program, const Module &m);
+
+    /** Reload globals, clear state and counters. */
+    void reset();
+
+    /** Run from _start with up to four @p args in r0..r3; returns r0
+     *  at HALT. */
+    uint32_t run(const std::vector<uint32_t> &args = {});
+
+    const ActivityCounters &counters() const { return counters_; }
+    const MemoryHierarchy &memory() const { return mem_; }
+    const std::vector<uint64_t> &output() const { return output_; }
+
+    /** FNV-1a over the output stream; matches Interpreter's. */
+    uint64_t outputChecksum() const;
+
+    void setFuel(uint64_t fuel) { fuel_ = fuel; }
+
+  private:
+    struct Flags
+    {
+        bool n = false, z = false, c = false, v = false;
+    };
+
+    bool condHolds(Cond c) const;
+    uint32_t readOpnd(const MOpnd &o);
+    void writeOpnd(const MOpnd &o, uint32_t value);
+    uint32_t loadData(uint32_t addr, unsigned bytes);
+    void storeData(uint32_t addr, uint32_t value, unsigned bytes);
+
+    const MachProgram &prog_;
+    const Module &module_;
+    std::vector<uint8_t> dataMem_;
+    uint32_t regs_[16] = {};
+    Flags flags_;
+    uint32_t delta_ = 0;
+    bool classicMode_ = false;
+
+    MemoryHierarchy mem_;
+    ActivityCounters counters_;
+    std::vector<uint64_t> output_;
+    uint64_t fuel_ = kDefaultFuel;
+
+    /** Scoreboard: cycle when each register's value is ready. */
+    uint64_t readyAt_[16] = {};
+};
+
+} // namespace bitspec
+
+#endif // BITSPEC_UARCH_CORE_H_

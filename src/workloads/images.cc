@@ -1,0 +1,66 @@
+#include "workloads/images.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/rng.h"
+
+namespace bitspec
+{
+
+std::vector<uint8_t>
+generateImage(uint64_t seed, unsigned w, unsigned h)
+{
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0xb17e5bec);
+    std::vector<double> img(static_cast<size_t>(w) * h, 0.0);
+
+    // Base gradient with random orientation and strength.
+    double gx = rng.nextDouble() * 2.0 - 1.0;
+    double gy = rng.nextDouble() * 2.0 - 1.0;
+    double base = 60.0 + rng.nextDouble() * 100.0;
+    for (unsigned y = 0; y < h; ++y)
+        for (unsigned x = 0; x < w; ++x)
+            img[y * w + x] = base + gx * x + gy * y;
+
+    // Elliptical blobs (objects with edges and corners).
+    unsigned blobs = 3 + static_cast<unsigned>(rng.nextBelow(5));
+    for (unsigned b = 0; b < blobs; ++b) {
+        double cx = rng.nextDouble() * w;
+        double cy = rng.nextDouble() * h;
+        double rx = 3.0 + rng.nextDouble() * (w / 4.0);
+        double ry = 3.0 + rng.nextDouble() * (h / 4.0);
+        double lvl = rng.nextDouble() * 255.0;
+        for (unsigned y = 0; y < h; ++y) {
+            for (unsigned x = 0; x < w; ++x) {
+                double dx = (x - cx) / rx;
+                double dy = (y - cy) / ry;
+                if (dx * dx + dy * dy < 1.0)
+                    img[y * w + x] = lvl;
+            }
+        }
+    }
+
+    // A rectangle for sharp corners.
+    {
+        unsigned x0 = static_cast<unsigned>(rng.nextBelow(w / 2));
+        unsigned y0 = static_cast<unsigned>(rng.nextBelow(h / 2));
+        unsigned x1 = x0 + 4 + static_cast<unsigned>(
+            rng.nextBelow(w / 3));
+        unsigned y1 = y0 + 4 + static_cast<unsigned>(
+            rng.nextBelow(h / 3));
+        double lvl = rng.nextDouble() * 255.0;
+        for (unsigned y = y0; y < std::min(y1, h); ++y)
+            for (unsigned x = x0; x < std::min(x1, w); ++x)
+                img[y * w + x] = lvl;
+    }
+
+    // Mild noise.
+    std::vector<uint8_t> out(img.size());
+    for (size_t i = 0; i < img.size(); ++i) {
+        double v = img[i] + (rng.nextDouble() - 0.5) * 12.0;
+        out[i] = static_cast<uint8_t>(std::clamp(v, 0.0, 255.0));
+    }
+    return out;
+}
+
+} // namespace bitspec

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Synthetic image generator standing in for the BSDS500 photographs
+ * of the paper's RQ6 deep dive (Fig. 16) and for the susan inputs.
+ *
+ * Images are a seeded mixture of smooth gradients, elliptical blobs
+ * and salt noise — enough structure for USAN edge/corner responses to
+ * vary meaningfully between seeds.
+ */
+
+#ifndef BITSPEC_WORKLOADS_IMAGES_H_
+#define BITSPEC_WORKLOADS_IMAGES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace bitspec
+{
+
+/** Generate a @p w x @p h 8-bit grayscale image for @p seed. */
+std::vector<uint8_t> generateImage(uint64_t seed, unsigned w,
+                                   unsigned h);
+
+} // namespace bitspec
+
+#endif // BITSPEC_WORKLOADS_IMAGES_H_

@@ -1,0 +1,17 @@
+#include "workloads/workload.h"
+
+#include "support/error.h"
+
+namespace bitspec
+{
+
+const Workload &
+getWorkload(const std::string &name)
+{
+    for (const Workload &w : mibenchSuite())
+        if (w.name == name)
+            return w;
+    fatal("unknown workload: " + name);
+}
+
+} // namespace bitspec

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Workload abstraction: a C-subset program plus deterministic input
+ * generators standing in for the MiBench data files (paper §4.1).
+ *
+ * Input seeds: seed 0 is the "provided/large" input used for both
+ * profiling and measurement in the main experiments; other seeds
+ * generate the alternate inputs of the RQ6 sensitivity study.
+ */
+
+#ifndef BITSPEC_WORKLOADS_WORKLOAD_H_
+#define BITSPEC_WORKLOADS_WORKLOAD_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace bitspec
+{
+
+/** One benchmark: source + input generator. */
+struct Workload
+{
+    std::string name;
+    std::string source;
+    /** Write input data into the module's globals for @p seed. */
+    std::function<void(Module &, uint64_t seed)> setInput;
+    /** Expected interpreter checksum for seed 0 (0 = unchecked). */
+    uint64_t expectedChecksum = 0;
+};
+
+/** The MiBench-style suite (14 kernels, paper Fig. 8). */
+const std::vector<Workload> &mibenchSuite();
+
+/** Lookup by name; throws FatalError when unknown. */
+const Workload &getWorkload(const std::string &name);
+
+} // namespace bitspec
+
+#endif // BITSPEC_WORKLOADS_WORKLOAD_H_

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "analysis/cfg.h"
+
+namespace bitspec
+{
+namespace
+{
+
+TEST(Cfg, ReversePostOrderStartsAtEntry)
+{
+    Module m;
+    Function *f = test::buildDiamond(m);
+    auto rpo = reversePostOrder(*f);
+    ASSERT_EQ(rpo.size(), 4u);
+    EXPECT_EQ(rpo.front(), f->entry());
+    // Merge comes after both branches.
+    EXPECT_EQ(rpo.back()->name(), "merge");
+}
+
+TEST(Cfg, RpoVisitsLoop)
+{
+    Module m;
+    Function *f = test::buildSumTo(m);
+    auto rpo = reversePostOrder(*f);
+    EXPECT_EQ(rpo.size(), 3u);
+}
+
+TEST(Cfg, PredecessorMapWithHandlerEdges)
+{
+    Module m;
+    Function *f = test::buildSumTo(m);
+    BasicBlock *body = f->blocks()[1].get();
+    BasicBlock *handler = f->addBlock("handler");
+    IRBuilder b(&m);
+    b.setInsertPoint(handler);
+    b.ret(m.getConst(Type::i32(), 0));
+    SpecRegion *sr = f->addSpecRegion();
+    sr->blocks.push_back(body);
+    sr->handler = handler;
+
+    auto plain = predecessorMap(*f, false);
+    EXPECT_EQ(plain[handler].size(), 0u);
+    auto smir = predecessorMap(*f, true);
+    ASSERT_EQ(smir[handler].size(), 1u);
+    EXPECT_EQ(smir[handler][0], body);
+}
+
+TEST(Cfg, IdempotenceQueries)
+{
+    Module m;
+    Function *f = m.addFunction("g", Type::voidTy(), {});
+    Function *callee = m.addFunction("h", Type::voidTy(), {});
+    Global *g = m.addGlobal("buf", 32, 4);
+    IRBuilder b(&m);
+
+    BasicBlock *pure = f->addBlock("pure");
+    b.setInsertPoint(pure);
+    Instruction *v = b.load(Type::i32(), b.globalAddr(g));
+    b.add(v, b.constI32(1));
+    b.ret();
+    EXPECT_TRUE(isIdempotent(*pure));
+
+    // Stores-only blocks re-execute safely (Eq. 4).
+    BasicBlock *stores = f->addBlock("stores");
+    b.setInsertPoint(stores);
+    b.store(b.globalAddr(g), b.constI32(1));
+    b.ret();
+    EXPECT_TRUE(isIdempotent(*stores));
+
+    // Mixed load/store blocks do not (possible WAR dependency).
+    BasicBlock *mixed = f->addBlock("mixed");
+    b.setInsertPoint(mixed);
+    Instruction *lv = b.load(Type::i32(), b.globalAddr(g));
+    b.store(b.globalAddr(g), lv);
+    b.ret();
+    EXPECT_FALSE(isIdempotent(*mixed));
+
+    BasicBlock *calls = f->addBlock("calls");
+    b.setInsertPoint(calls);
+    b.call(callee, {});
+    b.ret();
+    EXPECT_FALSE(isIdempotent(*calls));
+
+    BasicBlock *io = f->addBlock("io");
+    b.setInsertPoint(io);
+    b.output(b.constI32(1));
+    b.ret();
+    EXPECT_FALSE(isIdempotent(*io));
+}
+
+TEST(Cfg, RemoveUnreachableKeepsHandlers)
+{
+    Module m;
+    Function *f = test::buildSumTo(m);
+    BasicBlock *body = f->blocks()[1].get();
+    IRBuilder b(&m);
+
+    BasicBlock *dead = f->addBlock("dead");
+    b.setInsertPoint(dead);
+    b.ret(m.getConst(Type::i32(), 0));
+
+    BasicBlock *handler = f->addBlock("handler");
+    b.setInsertPoint(handler);
+    b.ret(m.getConst(Type::i32(), 1));
+    SpecRegion *sr = f->addSpecRegion();
+    sr->blocks.push_back(body);
+    sr->handler = handler;
+
+    removeUnreachableBlocks(*f);
+    bool saw_dead = false, saw_handler = false;
+    for (auto &bb : f->blocks()) {
+        saw_dead |= (bb.get() == dead);
+        saw_handler |= (bb.get() == handler);
+    }
+    EXPECT_FALSE(saw_dead);
+    EXPECT_TRUE(saw_handler);
+}
+
+TEST(Cfg, SplitEdgeUpdatesPhis)
+{
+    Module m;
+    Function *f = test::buildDiamond(m);
+    BasicBlock *left = f->blocks()[1].get();
+    BasicBlock *merge = f->blocks()[3].get();
+    BasicBlock *mid = splitEdge(*f, left, merge);
+
+    EXPECT_EQ(left->successors()[0], mid);
+    EXPECT_EQ(mid->successors()[0], merge);
+    Instruction *phi = merge->phis()[0];
+    bool incoming_mid = false;
+    for (BasicBlock *in : phi->blockOperands())
+        incoming_mid |= (in == mid);
+    EXPECT_TRUE(incoming_mid);
+}
+
+} // namespace
+} // namespace bitspec

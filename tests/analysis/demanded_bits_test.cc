@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "analysis/demanded_bits.h"
+
+namespace bitspec
+{
+namespace
+{
+
+/** f(x) = (x & 0xFF) stored to memory: the add feeding the mask only
+ *  needs its low 8 bits. */
+TEST(DemandedBits, MaskCapsDemand)
+{
+    Module m;
+    Global *g = m.addGlobal("out", 32, 1);
+    Function *f = m.addFunction("f", Type::voidTy(), {Type::i32()});
+    IRBuilder b(&m);
+    BasicBlock *bb = f->addBlock("entry");
+    b.setInsertPoint(bb);
+    Instruction *sum = b.add(f->arg(0), b.constI32(12345));
+    Instruction *masked = b.band(sum, b.constI32(0xff));
+    b.store(b.globalAddr(g), masked);
+    b.ret();
+
+    DemandedBits db(*f);
+    EXPECT_EQ(db.demandedWidth(sum), 8u);
+    EXPECT_EQ(db.demandedMask(sum), 0xffu);
+    EXPECT_EQ(db.demandedWidth(masked), 32u);
+}
+
+TEST(DemandedBits, TruncNarrowsDemand)
+{
+    Module m;
+    Function *f = m.addFunction("f", Type::i8(), {Type::i32()});
+    IRBuilder b(&m);
+    BasicBlock *bb = f->addBlock("entry");
+    b.setInsertPoint(bb);
+    Instruction *x = b.mul(f->arg(0), b.constI32(3));
+    Instruction *t = b.trunc(x, Type::i8());
+    b.ret(t);
+
+    DemandedBits db(*f);
+    EXPECT_EQ(db.demandedWidth(x), 8u);
+}
+
+TEST(DemandedBits, RotatePatternDemandsFullWidth)
+{
+    // sha-style rotate: (x << 5) | (x >> 27). All 32 bits demanded.
+    Module m;
+    Global *g = m.addGlobal("out", 32, 1);
+    Function *f = m.addFunction("f", Type::voidTy(), {Type::i32()});
+    IRBuilder b(&m);
+    BasicBlock *bb = f->addBlock("entry");
+    b.setInsertPoint(bb);
+    Instruction *x = b.add(f->arg(0), b.constI32(1));
+    Instruction *hi = b.shl(x, b.constI32(5));
+    Instruction *lo = b.lshr(x, b.constI32(27));
+    Instruction *rot = b.bor(hi, lo);
+    b.store(b.globalAddr(g), rot);
+    b.ret();
+
+    DemandedBits db(*f);
+    EXPECT_EQ(db.demandedWidth(x), 32u);
+}
+
+TEST(DemandedBits, ShlShiftsDemandDown)
+{
+    // Only bits 8..15 of (x << 8) are stored after masking: x needs 0..7.
+    Module m;
+    Global *g = m.addGlobal("out", 32, 1);
+    Function *f = m.addFunction("f", Type::voidTy(), {Type::i32()});
+    IRBuilder b(&m);
+    BasicBlock *bb = f->addBlock("entry");
+    b.setInsertPoint(bb);
+    Instruction *x = b.add(f->arg(0), b.constI32(1));
+    Instruction *sh = b.shl(x, b.constI32(8));
+    Instruction *hi = b.band(sh, b.constI32(0xff00));
+    b.store(b.globalAddr(g), hi);
+    b.ret();
+
+    DemandedBits db(*f);
+    EXPECT_EQ(db.demandedMask(x), 0xffu);
+}
+
+TEST(DemandedBits, DeadValueHasZeroMask)
+{
+    Module m;
+    Function *f = m.addFunction("f", Type::voidTy(), {Type::i32()});
+    IRBuilder b(&m);
+    BasicBlock *bb = f->addBlock("entry");
+    b.setInsertPoint(bb);
+    Instruction *dead = b.add(f->arg(0), b.constI32(1));
+    b.ret();
+
+    DemandedBits db(*f);
+    EXPECT_EQ(db.demandedMask(dead), 0u);
+    EXPECT_EQ(db.demandedWidth(dead), 1u);
+}
+
+TEST(DemandedBits, CmpDemandsAllOperandBits)
+{
+    Module m;
+    Global *g = m.addGlobal("out", 8, 1);
+    Function *f = m.addFunction("f", Type::voidTy(), {Type::i32()});
+    IRBuilder b(&m);
+    BasicBlock *bb = f->addBlock("entry");
+    b.setInsertPoint(bb);
+    Instruction *x = b.add(f->arg(0), b.constI32(1));
+    Instruction *c = b.icmp(CmpPred::ULT, x, b.constI32(3));
+    Instruction *z = b.zext(c, Type::i8());
+    b.store(b.globalAddr(g), z);
+    b.ret();
+
+    DemandedBits db(*f);
+    EXPECT_EQ(db.demandedWidth(x), 32u);
+}
+
+TEST(DemandedBits, PhiPropagatesDemand)
+{
+    Module m;
+    Function *f = test::buildDiamond(m);
+    // Narrow the returned phi with a mask to 4 bits; both arms should
+    // then demand only 4 bits... via the phi.
+    BasicBlock *merge = f->blocks()[3].get();
+    Instruction *phi = merge->phis()[0];
+    IRBuilder b(&m);
+    b.setInsertPoint(merge);
+    // Rebuild the tail: mask then ret.
+    Instruction *ret = merge->terminator();
+    Value *retv = ret->operand(0);
+    ASSERT_EQ(retv, phi);
+    // Insert mask before terminator.
+    auto mask = std::make_unique<Instruction>(Opcode::And, Type::i32());
+    mask->addOperand(phi);
+    mask->addOperand(m.getConst(Type::i32(), 0xf));
+    Instruction *mask_raw =
+        merge->insertBeforeTerm(std::move(mask));
+    ret->setOperand(0, mask_raw);
+
+    DemandedBits db(*f);
+    EXPECT_EQ(db.demandedMask(phi), 0xfu);
+    // The adds/muls in the arms inherit the narrow demand.
+    Instruction *l = nullptr;
+    for (auto &inst : f->blocks()[1]->insts())
+        if (inst->op() == Opcode::Add)
+            l = inst.get();
+    EXPECT_EQ(db.demandedMask(l), 0xfu);
+}
+
+} // namespace
+} // namespace bitspec

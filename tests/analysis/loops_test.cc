@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "analysis/loops.h"
+
+namespace bitspec
+{
+namespace
+{
+
+TEST(Loops, SingleLoopDetected)
+{
+    Module m;
+    Function *f = test::buildSumTo(m);
+    DomTree dt(*f);
+    auto loops = findLoops(*f, dt);
+    ASSERT_EQ(loops.size(), 1u);
+    EXPECT_EQ(loops[0].header->name(), "body");
+    EXPECT_EQ(loops[0].blocks.size(), 1u);
+    ASSERT_EQ(loops[0].latches.size(), 1u);
+    EXPECT_EQ(loops[0].latches[0], loops[0].header);
+    auto exits = loops[0].exitTargets();
+    ASSERT_EQ(exits.size(), 1u);
+    EXPECT_EQ(exits[0]->name(), "exit");
+}
+
+TEST(Loops, NoLoopsInDiamond)
+{
+    Module m;
+    Function *f = test::buildDiamond(m);
+    DomTree dt(*f);
+    EXPECT_TRUE(findLoops(*f, dt).empty());
+}
+
+TEST(Loops, NestedLoopsInnerFirst)
+{
+    // Build: outer(header H, body contains inner loop I).
+    Module m;
+    Function *f = m.addFunction("nest", Type::i32(), {Type::i32()});
+    IRBuilder b(&m);
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *oh = f->addBlock("outer");
+    BasicBlock *ih = f->addBlock("inner");
+    BasicBlock *olatch = f->addBlock("olatch");
+    BasicBlock *exit = f->addBlock("exit");
+
+    b.setInsertPoint(entry);
+    b.br(oh);
+
+    b.setInsertPoint(oh);
+    Instruction *i = b.phi(Type::i32(), "i");
+    b.br(ih);
+
+    b.setInsertPoint(ih);
+    Instruction *j = b.phi(Type::i32(), "j");
+    Instruction *j2 = b.add(j, b.constI32(1));
+    Instruction *jc = b.icmp(CmpPred::ULT, j2, b.constI32(10));
+    b.condBr(jc, ih, olatch);
+    IRBuilder::addIncoming(j, b.constI32(0), oh);
+    IRBuilder::addIncoming(j, j2, ih);
+
+    b.setInsertPoint(olatch);
+    Instruction *i2 = b.add(i, b.constI32(1));
+    Instruction *ic = b.icmp(CmpPred::ULT, i2, f->arg(0));
+    b.condBr(ic, oh, exit);
+    IRBuilder::addIncoming(i, b.constI32(0), entry);
+    IRBuilder::addIncoming(i, i2, olatch);
+
+    b.setInsertPoint(exit);
+    b.ret(i2);
+
+    DomTree dt(*f);
+    auto loops = findLoops(*f, dt);
+    ASSERT_EQ(loops.size(), 2u);
+    // Inner (1 block) sorted before outer (3 blocks).
+    EXPECT_EQ(loops[0].header, ih);
+    EXPECT_EQ(loops[1].header, oh);
+    EXPECT_TRUE(loops[1].contains(ih));
+    EXPECT_FALSE(loops[0].contains(oh));
+}
+
+} // namespace
+} // namespace bitspec

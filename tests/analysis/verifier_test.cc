@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "analysis/verifier.h"
+
+namespace bitspec
+{
+namespace
+{
+
+TEST(Verifier, AcceptsWellFormedFunctions)
+{
+    Module m;
+    test::buildSumTo(m);
+    test::buildDiamond(m);
+    test::buildPaperCounter(m);
+    EXPECT_TRUE(verifyModule(m).empty());
+}
+
+TEST(Verifier, RejectsMissingTerminator)
+{
+    Module m;
+    Function *f = m.addFunction("f", Type::voidTy(), {});
+    f->addBlock("entry"); // No terminator.
+    EXPECT_FALSE(verifyFunction(*f).empty());
+}
+
+TEST(Verifier, RejectsTypeMismatch)
+{
+    Module m;
+    Function *f = m.addFunction("f", Type::i32(), {Type::i32()});
+    IRBuilder b(&m);
+    BasicBlock *bb = f->addBlock("entry");
+    b.setInsertPoint(bb);
+    // Hand-build a bad add: i32 = add(i32, i8).
+    auto bad = std::make_unique<Instruction>(Opcode::Add, Type::i32());
+    bad->addOperand(f->arg(0));
+    bad->addOperand(m.getConst(Type::i8(), 1));
+    Instruction *raw = bb->append(std::move(bad));
+    b.ret(raw);
+    EXPECT_FALSE(verifyFunction(*f).empty());
+}
+
+TEST(Verifier, RejectsUseBeforeDef)
+{
+    Module m;
+    Function *f = m.addFunction("f", Type::i32(), {Type::i32()});
+    IRBuilder b(&m);
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *other = f->addBlock("other");
+
+    // `late` is defined in `other`, used in `entry` which precedes it.
+    b.setInsertPoint(other);
+    Instruction *late = b.add(f->arg(0), b.constI32(1));
+    b.ret(late);
+
+    b.setInsertPoint(entry);
+    Instruction *use = b.add(late, b.constI32(2));
+    (void)use;
+    b.br(other);
+
+    EXPECT_FALSE(verifyFunction(*f).empty());
+}
+
+TEST(Verifier, RejectsBranchToHandler)
+{
+    Module m;
+    Function *f = test::buildSumTo(m);
+    BasicBlock *body = f->blocks()[1].get();
+    BasicBlock *handler = f->addBlock("handler");
+    IRBuilder b(&m);
+    b.setInsertPoint(handler);
+    b.ret(m.getConst(Type::i32(), 0));
+    SpecRegion *sr = f->addSpecRegion();
+    sr->blocks.push_back(body);
+    sr->handler = handler;
+    EXPECT_TRUE(verifyFunction(*f).empty());
+
+    // Now branch into the handler: invalid.
+    BasicBlock *entry = f->entry();
+    Instruction *term = entry->terminator();
+    term->setBlockOperand(0, handler);
+    // (Also breaks body's phis, but the handler complaint must appear.)
+    auto problems = verifyFunction(*f);
+    bool found = false;
+    for (const auto &p : problems)
+        found |= p.find("handler is a branch target") != std::string::npos;
+    EXPECT_TRUE(found);
+}
+
+TEST(Verifier, RejectsTheorem31Violation)
+{
+    // Handler consuming a value defined inside its region.
+    Module m;
+    Function *f = m.addFunction("f", Type::i32(), {Type::i32()});
+    IRBuilder b(&m);
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *spec = f->addBlock("spec");
+    BasicBlock *exit = f->addBlock("exit");
+    BasicBlock *handler = f->addBlock("handler");
+
+    b.setInsertPoint(entry);
+    b.br(spec);
+    b.setInsertPoint(spec);
+    Instruction *v = b.add(f->arg(0), b.constI32(1));
+    b.br(exit);
+    b.setInsertPoint(exit);
+    b.ret(v);
+    b.setInsertPoint(handler);
+    b.ret(v); // Violation: v defined in region.
+
+    SpecRegion *sr = f->addSpecRegion();
+    sr->blocks.push_back(spec);
+    sr->handler = handler;
+
+    auto problems = verifyFunction(*f);
+    bool found = false;
+    for (const auto &p : problems)
+        found |= p.find("Theorem 3.1") != std::string::npos;
+    EXPECT_TRUE(found);
+}
+
+TEST(Verifier, RejectsSharedHandler)
+{
+    Module m;
+    Function *f = test::buildSumTo(m);
+    BasicBlock *body = f->blocks()[1].get();
+    BasicBlock *entry = f->entry();
+    BasicBlock *handler = f->addBlock("handler");
+    IRBuilder b(&m);
+    b.setInsertPoint(handler);
+    b.ret(m.getConst(Type::i32(), 0));
+
+    SpecRegion *r1 = f->addSpecRegion();
+    r1->blocks.push_back(body);
+    r1->handler = handler;
+    SpecRegion *r2 = f->addSpecRegion();
+    r2->blocks.push_back(entry);
+    r2->handler = handler;
+
+    auto problems = verifyFunction(*f);
+    bool found = false;
+    for (const auto &p : problems)
+        found |= p.find("handler of two regions") != std::string::npos;
+    EXPECT_TRUE(found);
+}
+
+} // namespace
+} // namespace bitspec

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "energy/dts.h"
+#include "energy/model.h"
+
+namespace bitspec
+{
+namespace
+{
+
+TEST(Energy, SliceAccessesCostOneQuarter)
+{
+    EnergyParams p;
+    EXPECT_DOUBLE_EQ(p.rfRead8 * 4, p.rfRead32);
+    EXPECT_DOUBLE_EQ(p.rfWrite8 * 4, p.rfWrite32);
+    EXPECT_DOUBLE_EQ(p.alu8 * 4, p.alu32);
+}
+
+TEST(Energy, BreakdownSumsToTotal)
+{
+    EnergyBreakdown e;
+    e.alu = 1;
+    e.regfile = 2;
+    e.dcache = 3;
+    e.icache = 4;
+    e.pipeline = 5;
+    EXPECT_DOUBLE_EQ(e.total(), 15.0);
+}
+
+TEST(Energy, EndToEndComponentsArePositive)
+{
+    const char *src = R"(
+        u32 buf[64];
+        u32 main() {
+            u32 s = 0;
+            for (u32 i = 0; i < 64; i++) { buf[i] = i; s += buf[i]; }
+            return s;
+        }
+    )";
+    System sys(src, SystemConfig::baseline());
+    RunResult r = sys.run();
+    EXPECT_GT(r.energy.alu, 0.0);
+    EXPECT_GT(r.energy.regfile, 0.0);
+    EXPECT_GT(r.energy.dcache, 0.0);
+    EXPECT_GT(r.energy.icache, 0.0);
+    EXPECT_GT(r.energy.pipeline, 0.0);
+    EXPECT_NEAR(r.totalEnergy, r.energy.total(), 1e-6);
+    EXPECT_GT(r.epi, 0.0);
+}
+
+TEST(Dts, VoltageSolvesAlphaPowerLaw)
+{
+    DtsParams p;
+    // No slack: nominal voltage.
+    EXPECT_NEAR(voltageForSlack(1.0, p), p.vNominal, 1e-6);
+    // More slack -> lower voltage, monotonically.
+    double prev = p.vNominal;
+    for (double frac : {0.95, 0.85, 0.75, 0.65, 0.55}) {
+        double v = voltageForSlack(frac, p);
+        EXPECT_LT(v, prev) << frac;
+        EXPECT_GE(v, p.vMin);
+        prev = v;
+    }
+    // Extreme slack clamps at the safe rail.
+    EXPECT_NEAR(voltageForSlack(0.05, p), p.vMin, 1e-9);
+}
+
+TEST(Dts, ScalingReducesEnergyAndReportsVoltage)
+{
+    EnergyBreakdown e;
+    e.alu = 100;
+    e.regfile = 100;
+    e.dcache = 100;
+    e.icache = 100;
+    e.pipeline = 100;
+    ActivityCounters c;
+    c.alu32 = 1000;
+    c.loads = 200;
+    c.stores = 100;
+    c.branches = 150;
+
+    DtsResult r = applyDts(e, c);
+    EXPECT_LT(r.scaledEnergy, e.total());
+    EXPECT_LT(r.meanVoltage, 1.2);
+    EXPECT_GT(r.meanVoltage, 0.6);
+    EXPECT_GT(r.recoveryOverhead, 0.0);
+}
+
+TEST(Dts, WidthAwareEstimatorExploitsSlices)
+{
+    // With many 8-bit ALU events, the width-aware estimator (the
+    // paper's future work) must beat the width-agnostic one.
+    EnergyBreakdown e;
+    e.alu = 500;
+    e.regfile = 100;
+    e.dcache = 50;
+    e.icache = 100;
+    e.pipeline = 150;
+    ActivityCounters c;
+    c.alu8 = 5000;
+    c.alu32 = 500;
+    c.loads = 100;
+    c.branches = 100;
+
+    DtsParams agnostic;
+    DtsParams aware;
+    aware.widthAware = true;
+    EXPECT_LT(applyDts(e, c, aware).scaledEnergy,
+              applyDts(e, c, agnostic).scaledEnergy);
+}
+
+TEST(Dts, EmptyRunIsNeutral)
+{
+    EnergyBreakdown e;
+    ActivityCounters c;
+    DtsResult r = applyDts(e, c);
+    EXPECT_DOUBLE_EQ(r.scaledEnergy, 0.0);
+    EXPECT_DOUBLE_EQ(r.meanVoltage, 1.2);
+}
+
+} // namespace
+} // namespace bitspec

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "frontend/parser.h"
+#include "support/error.h"
+
+namespace bitspec
+{
+namespace
+{
+
+TEST(Parser, GlobalsAndFunctions)
+{
+    auto p = parseProgram(R"(
+        u32 counter;
+        u8 table[256];
+        u32 lut[4] = { 1, 2, 3 };
+        u8 msg[8] = "hi";
+        i32 bias = -5;
+
+        u32 add(u32 a, u32 b) { return a + b; }
+        void main() { }
+    )");
+    ASSERT_EQ(p.globals.size(), 5u);
+    EXPECT_FALSE(p.globals[0].isArray);
+    EXPECT_TRUE(p.globals[1].isArray);
+    EXPECT_EQ(p.globals[1].arraySize, 256u);
+    EXPECT_EQ(p.globals[2].init.size(), 3u);
+    EXPECT_EQ(p.globals[3].strInit, "hi");
+    EXPECT_EQ(p.globals[4].init[0], static_cast<uint64_t>(-5));
+
+    ASSERT_EQ(p.functions.size(), 2u);
+    EXPECT_EQ(p.functions[0].name, "add");
+    EXPECT_EQ(p.functions[0].params.size(), 2u);
+    EXPECT_EQ(p.functions[0].retType.bits, 32u);
+    EXPECT_FALSE(p.functions[0].retType.isSigned);
+}
+
+TEST(Parser, StatementsRoundTrip)
+{
+    auto p = parseProgram(R"(
+        u32 g[4];
+        void main() {
+            u32 x = 1;
+            if (x < 2) { x = 3; } else x = 4;
+            while (x) { x -= 1; break; }
+            do { x += 1; } while (x < 5);
+            for (u32 i = 0; i < 4; i++) { g[i] = x; continue; }
+            x <<= 2;
+            return;
+        }
+    )");
+    const auto &body = p.functions[0].body->body;
+    ASSERT_EQ(body.size(), 7u);
+    EXPECT_EQ(body[0]->kind, ast::StmtKind::Decl);
+    EXPECT_EQ(body[1]->kind, ast::StmtKind::If);
+    EXPECT_EQ(body[2]->kind, ast::StmtKind::While);
+    EXPECT_EQ(body[3]->kind, ast::StmtKind::DoWhile);
+    EXPECT_EQ(body[4]->kind, ast::StmtKind::For);
+    EXPECT_EQ(body[5]->kind, ast::StmtKind::Assign);
+    EXPECT_TRUE(body[5]->isCompound);
+    EXPECT_EQ(body[6]->kind, ast::StmtKind::Return);
+}
+
+TEST(Parser, ExpressionPrecedence)
+{
+    auto p = parseProgram("u32 f() { return 1 + 2 * 3; }");
+    const auto &ret = p.functions[0].body->body[0];
+    const auto &e = ret->expr;
+    ASSERT_EQ(e->kind, ast::ExprKind::Binary);
+    EXPECT_EQ(e->binOp, ast::BinOp::Add);
+    EXPECT_EQ(e->children[1]->binOp, ast::BinOp::Mul);
+}
+
+TEST(Parser, TernaryAndLogical)
+{
+    auto p = parseProgram("u32 f(u32 a) { return a && 1 ? a | 2 : 3; }");
+    const auto &e = p.functions[0].body->body[0]->expr;
+    ASSERT_EQ(e->kind, ast::ExprKind::Ternary);
+    EXPECT_EQ(e->children[0]->kind, ast::ExprKind::Logical);
+}
+
+TEST(Parser, CastVsParens)
+{
+    auto p = parseProgram("u32 f(u32 a) { return (u8)a + (a); }");
+    const auto &e = p.functions[0].body->body[0]->expr;
+    ASSERT_EQ(e->kind, ast::ExprKind::Binary);
+    EXPECT_EQ(e->children[0]->kind, ast::ExprKind::Cast);
+    EXPECT_EQ(e->children[0]->castType.bits, 8u);
+    EXPECT_EQ(e->children[1]->kind, ast::ExprKind::VarRef);
+}
+
+TEST(Parser, CallsAndIndex)
+{
+    auto p = parseProgram(R"(
+        u8 buf[4];
+        u32 g(u32 x) { return x; }
+        u32 f() { return g(buf[2]) + g(1); }
+    )");
+    const auto &e = p.functions[1].body->body[0]->expr;
+    EXPECT_EQ(e->children[0]->kind, ast::ExprKind::Call);
+    EXPECT_EQ(e->children[0]->children[0]->kind, ast::ExprKind::Index);
+}
+
+TEST(Parser, PlusPlusStatement)
+{
+    auto p = parseProgram("void f() { u32 i = 0; i++; i--; }");
+    const auto &body = p.functions[0].body->body;
+    EXPECT_EQ(body[1]->kind, ast::StmtKind::Assign);
+    EXPECT_TRUE(body[1]->isCompound);
+    EXPECT_EQ(body[1]->compoundOp, ast::BinOp::Add);
+    EXPECT_EQ(body[2]->compoundOp, ast::BinOp::Sub);
+}
+
+TEST(Parser, SyntaxErrors)
+{
+    EXPECT_THROW(parseProgram("u32 f( { }"), FatalError);
+    EXPECT_THROW(parseProgram("u32 x = ;"), FatalError);
+    EXPECT_THROW(parseProgram("void f() { if x }"), FatalError);
+    EXPECT_THROW(parseProgram("void f() { return 1 + ; }"), FatalError);
+}
+
+} // namespace
+} // namespace bitspec

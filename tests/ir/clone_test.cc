@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "ir/clone.h"
+
+namespace bitspec
+{
+namespace
+{
+
+TEST(Clone, ClonesInstructionFlags)
+{
+    Module m;
+    Function *f = test::buildSumTo(m);
+    BasicBlock *body = f->blocks()[1].get();
+    Instruction *add = nullptr;
+    for (auto &inst : body->insts())
+        if (inst->op() == Opcode::Add)
+            add = inst.get();
+    ASSERT_NE(add, nullptr);
+    add->setSpeculative(true);
+    add->setSpecOrigBits(32);
+    add->setGuard(true);
+
+    auto copy = cloneInstruction(add);
+    EXPECT_EQ(copy->op(), Opcode::Add);
+    EXPECT_TRUE(copy->isSpeculative());
+    EXPECT_TRUE(copy->isGuard());
+    EXPECT_EQ(copy->specOrigBits(), 32u);
+    EXPECT_EQ(copy->numOperands(), 2u);
+}
+
+TEST(Clone, BlockCloneRemapsInternalReferences)
+{
+    Module m;
+    Function *f = test::buildSumTo(m);
+    std::vector<BasicBlock *> src;
+    for (auto &bb : f->blocks())
+        src.push_back(bb.get());
+    size_t before = f->blocks().size();
+
+    CloneMap map = cloneBlocks(src, f, ".c");
+    EXPECT_EQ(f->blocks().size(), before * 2);
+
+    // The cloned body's branch targets the cloned body, not the original.
+    BasicBlock *body = src[1];
+    BasicBlock *cbody = map.get(body);
+    ASSERT_NE(cbody, body);
+    auto succs = cbody->successors();
+    ASSERT_EQ(succs.size(), 2u);
+    EXPECT_EQ(succs[0], cbody);
+
+    // Cloned phi's incoming blocks are also remapped.
+    Instruction *cphi = cbody->phis()[0];
+    for (BasicBlock *in : cphi->blockOperands())
+        EXPECT_TRUE(in == map.get(src[0]) || in == cbody);
+}
+
+TEST(Clone, ExternalReferencesLeftAlone)
+{
+    Module m;
+    Function *f = test::buildSumTo(m);
+    BasicBlock *body = f->blocks()[1].get();
+    // Clone only the exit block; its operand (s2, defined in body)
+    // should still point at the original s2.
+    BasicBlock *exit = f->blocks()[2].get();
+    CloneMap map = cloneBlocks({exit}, f, ".c");
+    BasicBlock *cexit = map.get(exit);
+    Instruction *ret = cexit->terminator();
+    Instruction *orig_ret = exit->terminator();
+    EXPECT_EQ(ret->operand(0), orig_ret->operand(0));
+    (void)body;
+}
+
+} // namespace
+} // namespace bitspec

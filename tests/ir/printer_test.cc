@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "ir/printer.h"
+
+namespace bitspec
+{
+namespace
+{
+
+TEST(Printer, FunctionContainsStructure)
+{
+    Module m;
+    Function *f = test::buildSumTo(m);
+    f->renumber();
+    std::string text = printFunction(*f);
+    EXPECT_NE(text.find("define i32 @sumto"), std::string::npos);
+    EXPECT_NE(text.find("phi"), std::string::npos);
+    EXPECT_NE(text.find("icmp ult"), std::string::npos);
+    EXPECT_NE(text.find("condbr"), std::string::npos);
+    EXPECT_NE(text.find("ret"), std::string::npos);
+}
+
+TEST(Printer, SpeculativeAnnotation)
+{
+    Module m;
+    Function *f = test::buildPaperCounter(m);
+    f->renumber();
+    for (auto &bb : f->blocks())
+        for (auto &inst : bb->insts())
+            if (inst->op() == Opcode::Add)
+                inst->setSpeculative(true);
+    std::string text = printFunction(*f);
+    EXPECT_NE(text.find("!spec"), std::string::npos);
+}
+
+TEST(Printer, ModuleListsGlobals)
+{
+    Module m;
+    m.addGlobal("table", 32, 256);
+    test::buildSumTo(m);
+    std::string text = printModule(m);
+    EXPECT_NE(text.find("@table = global [256 x i32]"), std::string::npos);
+}
+
+TEST(Printer, ValueRefs)
+{
+    Module m;
+    Constant *c = m.getConst(Type::i8(), 42);
+    EXPECT_EQ(printValueRef(c), "i8 42");
+    Global *g = m.addGlobal("buf", 8, 4);
+    EXPECT_EQ(printValueRef(m.getGlobalRef(g)), "@buf");
+}
+
+} // namespace
+} // namespace bitspec

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "frontend/irgen.h"
+#include "profile/bitwidth_profile.h"
+
+namespace bitspec
+{
+namespace
+{
+
+TEST(Profile, TargetsOrderedByAggressiveness)
+{
+    auto m = compileSource(R"(
+        u32 main() {
+            u32 s = 0;
+            for (u32 i = 0; i < 1000; i++) s += 1;
+            return s;
+        }
+    )");
+    BitwidthProfile p;
+    p.profileRun(*m);
+
+    // Find the accumulating add: values 1..1000.
+    Function *f = m->getFunction("main");
+    const Instruction *acc = nullptr;
+    for (auto &bb : f->blocks())
+        for (auto &inst : bb->insts())
+            if (inst->op() == Opcode::Add && p.hasData(inst.get())) {
+                const VarBitStats *s = p.statsFor(inst.get());
+                if (s && s->maxBits == 10)
+                    acc = inst.get();
+            }
+    ASSERT_NE(acc, nullptr);
+    EXPECT_EQ(p.target(acc, Heuristic::Min), 1u);
+    EXPECT_EQ(p.target(acc, Heuristic::Max), 10u);
+    unsigned avg = p.target(acc, Heuristic::Avg);
+    EXPECT_GT(avg, 1u);
+    EXPECT_LT(avg, 10u);
+}
+
+TEST(Profile, UnexecutedCodeKeepsDeclaredWidth)
+{
+    auto m = compileSource(R"(
+        u32 main(u32 n) {
+            if (n > 100) { u32 big = n * n; return big; }
+            return 1;
+        }
+    )");
+    BitwidthProfile p;
+    p.profileRun(*m, "main", {5}); // Cold branch not taken.
+    Function *f = m->getFunction("main");
+    for (auto &bb : f->blocks())
+        for (auto &inst : bb->insts())
+            if (inst->op() == Opcode::Mul) {
+                EXPECT_FALSE(p.hasData(inst.get()));
+                EXPECT_EQ(p.target(inst.get(), Heuristic::Min), 32u);
+            }
+}
+
+TEST(Profile, AccumulatesAcrossRuns)
+{
+    auto m = compileSource("u32 main(u32 n) { return n + 0; }");
+    BitwidthProfile p;
+    p.profileRun(*m, "main", {3});
+    p.profileRun(*m, "main", {300});
+    Function *f = m->getFunction("main");
+    const Instruction *add = nullptr;
+    for (auto &bb : f->blocks())
+        for (auto &inst : bb->insts())
+            if (inst->op() == Opcode::Add)
+                add = inst.get();
+    ASSERT_NE(add, nullptr);
+    EXPECT_EQ(p.target(add, Heuristic::Min), 2u);
+    EXPECT_EQ(p.target(add, Heuristic::Max), 9u);
+    EXPECT_EQ(p.statsFor(add)->count, 2u);
+}
+
+TEST(Profile, HistogramCoversAllAssignments)
+{
+    auto m = compileSource(R"(
+        u32 main() {
+            u32 s = 0;
+            for (u32 i = 0; i < 10; i++) s += i;
+            return s;
+        }
+    )");
+    BitwidthProfile p;
+    p.profileRun(*m);
+    auto hist = p.classHistogram(Heuristic::Max);
+    uint64_t total = hist[0] + hist[1] + hist[2] + hist[3];
+    EXPECT_EQ(total, p.totalAssignments());
+    EXPECT_GT(total, 0u);
+    // Everything in this loop fits 8 bits under MAX.
+    EXPECT_EQ(hist[0], total);
+}
+
+TEST(Profile, NegativeValuesNeedFullWidth)
+{
+    auto m = compileSource("i32 main() { i32 a = 0 - 5; return a; }");
+    BitwidthProfile p;
+    p.profileRun(*m);
+    // -5 as u32 = 0xfffffffb: requires 32 bits (unsigned view).
+    auto hist = p.classHistogram(Heuristic::Max);
+    EXPECT_GT(hist[2], 0u);
+}
+
+} // namespace
+} // namespace bitspec

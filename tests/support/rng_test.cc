@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace bitspec
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        uint64_t v = r.nextRange(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 6);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(11);
+    for (int i = 0; i < 1000; ++i) {
+        double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, RoughlyUniform)
+{
+    Rng r(13);
+    int buckets[8] = {};
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        buckets[r.nextBelow(8)]++;
+    for (int b = 0; b < 8; ++b) {
+        EXPECT_GT(buckets[b], n / 8 - n / 40);
+        EXPECT_LT(buckets[b], n / 8 + n / 40);
+    }
+}
+
+} // namespace
+} // namespace bitspec

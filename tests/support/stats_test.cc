@@ -1,0 +1,40 @@
+#include <gtest/gtest.h>
+
+#include "support/stats.h"
+
+namespace bitspec
+{
+namespace
+{
+
+TEST(Stats, Mean)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, PercentileEndpoints)
+{
+    std::vector<double> xs{5.0, 1.0, 3.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 3.0);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    std::vector<double> xs{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+    EXPECT_DOUBLE_EQ(percentile(xs, 75.0), 7.5);
+}
+
+} // namespace
+} // namespace bitspec

@@ -1,0 +1,33 @@
+#include <gtest/gtest.h>
+
+#include "support/str.h"
+
+namespace bitspec
+{
+namespace
+{
+
+TEST(Str, Format)
+{
+    EXPECT_EQ(strFormat("x=%d y=%s", 7, "hi"), "x=7 y=hi");
+    EXPECT_EQ(strFormat("%05.1f", 2.25), "002.2");
+}
+
+TEST(Str, Split)
+{
+    auto parts = strSplit("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Str, Pad)
+{
+    EXPECT_EQ(padLeft("ab", 4), "  ab");
+    EXPECT_EQ(padRight("ab", 4), "ab  ");
+    EXPECT_EQ(padLeft("abcdef", 4), "abcdef");
+}
+
+} // namespace
+} // namespace bitspec

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Shared helpers for BitSpec unit tests: tiny hand-built IR programs.
+ */
+
+#ifndef BITSPEC_TESTS_TESTUTIL_H_
+#define BITSPEC_TESTS_TESTUTIL_H_
+
+#include <memory>
+
+#include "ir/builder.h"
+#include "ir/module.h"
+
+namespace bitspec::test
+{
+
+/**
+ * Build: i32 sumto(i32 n) { s=0; for(i=0;i<n;++i) s+=i; return s; }
+ * A single-loop function exercising phis, compares and branches.
+ */
+inline Function *
+buildSumTo(Module &m)
+{
+    Function *f = m.addFunction("sumto", Type::i32(), {Type::i32()});
+    IRBuilder b(&m);
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *body = f->addBlock("body");
+    BasicBlock *exit = f->addBlock("exit");
+
+    b.setInsertPoint(entry);
+    b.br(body);
+
+    b.setInsertPoint(body);
+    Instruction *i = b.phi(Type::i32(), "i");
+    Instruction *s = b.phi(Type::i32(), "s");
+    Instruction *s2 = b.add(s, i);
+    s2->setName("s2");
+    Instruction *i2 = b.add(i, b.constI32(1));
+    i2->setName("i2");
+    Instruction *cmp = b.icmp(CmpPred::ULT, i2, f->arg(0));
+    b.condBr(cmp, body, exit);
+    IRBuilder::addIncoming(i, b.constI32(0), entry);
+    IRBuilder::addIncoming(i, i2, body);
+    IRBuilder::addIncoming(s, b.constI32(0), entry);
+    IRBuilder::addIncoming(s, s2, body);
+
+    b.setInsertPoint(exit);
+    b.ret(s2);
+    return f;
+}
+
+/**
+ * Build: the do-while counter from the paper's walkthrough (§3):
+ * u32 x = 0; do { x += 1; } while (x <= 255); return x;
+ */
+inline Function *
+buildPaperCounter(Module &m)
+{
+    Function *f = m.addFunction("counter", Type::i32(), {});
+    IRBuilder b(&m);
+    BasicBlock *entry = f->addBlock("ENTRY");
+    BasicBlock *body = f->addBlock("BODY");
+    BasicBlock *exit = f->addBlock("EXIT");
+
+    b.setInsertPoint(entry);
+    b.br(body);
+
+    b.setInsertPoint(body);
+    Instruction *x0 = b.phi(Type::i32(), "x0");
+    Instruction *x1 = b.add(x0, b.constI32(1));
+    x1->setName("x1");
+    Instruction *check = b.icmp(CmpPred::ULE, x1, b.constI32(255));
+    b.condBr(check, body, exit);
+    IRBuilder::addIncoming(x0, b.constI32(0), entry);
+    IRBuilder::addIncoming(x0, x1, body);
+
+    b.setInsertPoint(exit);
+    b.ret(x1);
+    return f;
+}
+
+/** Build a diamond CFG: entry -> (left|right) -> merge(ret phi). */
+inline Function *
+buildDiamond(Module &m)
+{
+    Function *f = m.addFunction("diamond", Type::i32(), {Type::i32()});
+    IRBuilder b(&m);
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *left = f->addBlock("left");
+    BasicBlock *right = f->addBlock("right");
+    BasicBlock *merge = f->addBlock("merge");
+
+    b.setInsertPoint(entry);
+    Instruction *cmp = b.icmp(CmpPred::ULT, f->arg(0), b.constI32(10));
+    b.condBr(cmp, left, right);
+
+    b.setInsertPoint(left);
+    Instruction *l = b.add(f->arg(0), b.constI32(100));
+    b.br(merge);
+
+    b.setInsertPoint(right);
+    Instruction *r = b.mul(f->arg(0), b.constI32(3));
+    b.br(merge);
+
+    b.setInsertPoint(merge);
+    Instruction *phi = b.phi(Type::i32(), "m");
+    IRBuilder::addIncoming(phi, l, left);
+    IRBuilder::addIncoming(phi, r, right);
+    b.ret(phi);
+    return f;
+}
+
+} // namespace bitspec::test
+
+#endif // BITSPEC_TESTS_TESTUTIL_H_

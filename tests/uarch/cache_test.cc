@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "uarch/cache.h"
+
+namespace bitspec
+{
+namespace
+{
+
+TEST(Cache, HitAfterMiss)
+{
+    Cache c(8 * 1024, 4, 32);
+    EXPECT_FALSE(c.access(0x1000, false));
+    EXPECT_TRUE(c.access(0x1000, false));
+    EXPECT_TRUE(c.access(0x101f, false)); // Same 32B line.
+    EXPECT_FALSE(c.access(0x1020, false)); // Next line.
+    EXPECT_EQ(c.stats().accesses, 4u);
+    EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, AssociativityHoldsConflictingLines)
+{
+    Cache c(8 * 1024, 4, 32);
+    // 4-way, 64 sets: addresses 2 KiB apart map to the same set.
+    for (int w = 0; w < 4; ++w)
+        EXPECT_FALSE(c.access(0x1000 + w * 2048, false));
+    for (int w = 0; w < 4; ++w)
+        EXPECT_TRUE(c.access(0x1000 + w * 2048, false));
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    Cache c(8 * 1024, 4, 32);
+    for (int w = 0; w < 4; ++w)
+        c.access(0x1000 + w * 2048, false);
+    // Touch way 0 again, then insert a 5th conflicting line.
+    c.access(0x1000, false);
+    c.access(0x1000 + 4 * 2048, false);
+    // Way 0 (recently used) must survive; way 1 was evicted.
+    EXPECT_TRUE(c.access(0x1000, false));
+    EXPECT_FALSE(c.access(0x1000 + 1 * 2048, false));
+}
+
+TEST(Cache, DirtyEvictionCountsWriteback)
+{
+    Cache c(8 * 1024, 4, 32);
+    c.access(0x1000, true); // Dirty.
+    for (int w = 1; w <= 4; ++w)
+        c.access(0x1000 + w * 2048, false); // Evicts the dirty line.
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Hierarchy, LatenciesEscalate)
+{
+    MemoryHierarchy m;
+    // Cold: L1 miss -> L2 miss -> DRAM.
+    EXPECT_EQ(m.data(0x2000, false),
+              MemoryHierarchy::kL2HitCycles +
+                  MemoryHierarchy::kDramCycles);
+    // Warm: L1 hit.
+    EXPECT_EQ(m.data(0x2000, false), 0u);
+    EXPECT_EQ(m.dram().reads, 1u);
+}
+
+TEST(Hierarchy, L2CatchesL1Evictions)
+{
+    MemoryHierarchy m;
+    m.data(0x3000, false);
+    // Blow the line out of 8 KiB L1 (touch 8 conflicting lines)...
+    for (int w = 1; w <= 8; ++w)
+        m.data(0x3000 + w * 2048, false);
+    // ...but 256 KiB L2 still holds it: only the L2 latency is paid.
+    EXPECT_EQ(m.data(0x3000, false), MemoryHierarchy::kL2HitCycles);
+}
+
+TEST(Hierarchy, SeparateInstructionAndDataPaths)
+{
+    MemoryHierarchy m;
+    m.fetch(0x5000);
+    EXPECT_EQ(m.l1i().misses, 1u);
+    EXPECT_EQ(m.l1d().accesses, 0u);
+    // Data access to the same address misses L1D (separate cache)
+    // but hits in the shared L2.
+    EXPECT_EQ(m.data(0x5000, false), MemoryHierarchy::kL2HitCycles);
+}
+
+} // namespace
+} // namespace bitspec

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "frontend/irgen.h"
+#include "interp/interpreter.h"
+#include "workloads/workload.h"
+
+namespace bitspec
+{
+namespace
+{
+
+/** Golden interpreter result for a workload at a given seed. */
+struct Golden
+{
+    uint64_t ret;
+    uint64_t checksum;
+    uint64_t steps;
+};
+
+Golden
+goldenRun(const Workload &w, uint64_t seed)
+{
+    auto mod = compileSource(w.source);
+    w.setInput(*mod, seed);
+    Interpreter in(*mod);
+    Golden g;
+    g.ret = truncTo(in.run("main"), 32);
+    g.checksum = in.outputChecksum();
+    g.steps = in.stats().steps;
+    return g;
+}
+
+class WorkloadSuite : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(WorkloadSuite, CompilesAndInterprets)
+{
+    const Workload &w = getWorkload(GetParam());
+    Golden g = goldenRun(w, 0);
+    EXPECT_GT(g.steps, 1000u) << "workload too trivial";
+    // Deterministic across repeat runs.
+    Golden g2 = goldenRun(w, 0);
+    EXPECT_EQ(g.ret, g2.ret);
+    EXPECT_EQ(g.checksum, g2.checksum);
+    // Different seeds give different inputs (checksum differs).
+    Golden alt = goldenRun(w, 1);
+    EXPECT_NE(g.checksum, alt.checksum)
+        << "input generator ignores seed";
+}
+
+TEST_P(WorkloadSuite, BaselineMachineMatchesInterpreter)
+{
+    const Workload &w = getWorkload(GetParam());
+    Golden g = goldenRun(w, 0);
+
+    System sys(w.source, SystemConfig::baseline(),
+               [&](Module &m) { w.setInput(m, 0); });
+    RunResult r = sys.run([&](Module &m) { w.setInput(m, 0); });
+    EXPECT_EQ(r.returnValue, g.ret);
+    EXPECT_EQ(r.outputChecksum, g.checksum);
+    EXPECT_GT(r.counters.instructions, 0u);
+    EXPECT_GE(r.counters.cycles, r.counters.instructions);
+}
+
+TEST_P(WorkloadSuite, BitspecMachineMatchesInterpreter)
+{
+    const Workload &w = getWorkload(GetParam());
+    Golden g = goldenRun(w, 0);
+
+    System sys(w.source, SystemConfig::bitspec(Heuristic::Max),
+               [&](Module &m) { w.setInput(m, 0); });
+    RunResult r = sys.run([&](Module &m) { w.setInput(m, 0); });
+    EXPECT_EQ(r.returnValue, g.ret);
+    EXPECT_EQ(r.outputChecksum, g.checksum);
+}
+
+TEST_P(WorkloadSuite, BitspecRobustToAlternateInput)
+{
+    // Profile on seed 7, run on seed 0 (the RQ6 situation).
+    const Workload &w = getWorkload(GetParam());
+    Golden g = goldenRun(w, 0);
+
+    System sys(w.source, SystemConfig::bitspec(Heuristic::Avg),
+               [&](Module &m) { w.setInput(m, 7); });
+    RunResult r = sys.run([&](Module &m) { w.setInput(m, 0); });
+    EXPECT_EQ(r.returnValue, g.ret);
+    EXPECT_EQ(r.outputChecksum, g.checksum);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mibench, WorkloadSuite,
+    ::testing::Values("CRC32", "FFT", "basicmath", "bitcount",
+                      "blowfish", "dijkstra", "patricia", "qsort",
+                      "rijndael", "sha", "stringsearch", "susan-edges",
+                      "susan-corners", "susan-smoothing"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+TEST(Workloads, SuiteHasFourteenKernels)
+{
+    EXPECT_EQ(mibenchSuite().size(), 14u);
+    EXPECT_THROW(getWorkload("nonexistent"), FatalError);
+}
+
+} // namespace
+} // namespace bitspec
