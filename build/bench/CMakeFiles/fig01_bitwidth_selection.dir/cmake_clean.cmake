@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_bitwidth_selection.dir/fig01_bitwidth_selection.cc.o"
+  "CMakeFiles/fig01_bitwidth_selection.dir/fig01_bitwidth_selection.cc.o.d"
+  "fig01_bitwidth_selection"
+  "fig01_bitwidth_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_bitwidth_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

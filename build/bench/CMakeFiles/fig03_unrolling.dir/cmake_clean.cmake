@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_unrolling.dir/fig03_unrolling.cc.o"
+  "CMakeFiles/fig03_unrolling.dir/fig03_unrolling.cc.o.d"
+  "fig03_unrolling"
+  "fig03_unrolling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_unrolling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

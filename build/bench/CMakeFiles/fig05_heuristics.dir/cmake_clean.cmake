@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_heuristics.dir/fig05_heuristics.cc.o"
+  "CMakeFiles/fig05_heuristics.dir/fig05_heuristics.cc.o.d"
+  "fig05_heuristics"
+  "fig05_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

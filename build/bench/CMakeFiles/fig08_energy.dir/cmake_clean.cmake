@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_energy.dir/fig08_energy.cc.o"
+  "CMakeFiles/fig08_energy.dir/fig08_energy.cc.o.d"
+  "fig08_energy"
+  "fig08_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

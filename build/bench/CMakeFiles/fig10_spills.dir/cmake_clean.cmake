@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_spills.dir/fig10_spills.cc.o"
+  "CMakeFiles/fig10_spills.dir/fig10_spills.cc.o.d"
+  "fig10_spills"
+  "fig10_spills.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_spills.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_regaccess.dir/fig11_regaccess.cc.o"
+  "CMakeFiles/fig11_regaccess.dir/fig11_regaccess.cc.o.d"
+  "fig11_regaccess"
+  "fig11_regaccess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_regaccess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_nospec.dir/fig12_nospec.cc.o"
+  "CMakeFiles/fig12_nospec.dir/fig12_nospec.cc.o.d"
+  "fig12_nospec"
+  "fig12_nospec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_nospec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

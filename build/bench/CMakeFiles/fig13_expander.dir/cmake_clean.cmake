@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_expander.dir/fig13_expander.cc.o"
+  "CMakeFiles/fig13_expander.dir/fig13_expander.cc.o.d"
+  "fig13_expander"
+  "fig13_expander.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_expander.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_aggressiveness.dir/fig14_aggressiveness.cc.o"
+  "CMakeFiles/fig14_aggressiveness.dir/fig14_aggressiveness.cc.o.d"
+  "fig14_aggressiveness"
+  "fig14_aggressiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_aggressiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

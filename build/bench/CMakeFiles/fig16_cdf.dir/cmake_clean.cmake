@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_cdf.dir/fig16_cdf.cc.o"
+  "CMakeFiles/fig16_cdf.dir/fig16_cdf.cc.o.d"
+  "fig16_cdf"
+  "fig16_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_dts.dir/fig17_dts.cc.o"
+  "CMakeFiles/fig17_dts.dir/fig17_dts.cc.o.d"
+  "fig17_dts"
+  "fig17_dts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_dts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_thumb.dir/fig18_thumb.cc.o"
+  "CMakeFiles/fig18_thumb.dir/fig18_thumb.cc.o.d"
+  "fig18_thumb"
+  "fig18_thumb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_thumb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rq3_optimizations.dir/rq3_optimizations.cc.o"
+  "CMakeFiles/rq3_optimizations.dir/rq3_optimizations.cc.o.d"
+  "rq3_optimizations"
+  "rq3_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rq3_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rq7_auto_bitwidth.dir/rq7_auto_bitwidth.cc.o"
+  "CMakeFiles/rq7_auto_bitwidth.dir/rq7_auto_bitwidth.cc.o.d"
+  "rq7_auto_bitwidth"
+  "rq7_auto_bitwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rq7_auto_bitwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

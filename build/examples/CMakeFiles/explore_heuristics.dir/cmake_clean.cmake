@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_heuristics.dir/explore_heuristics.cpp.o"
+  "CMakeFiles/explore_heuristics.dir/explore_heuristics.cpp.o.d"
+  "explore_heuristics"
+  "explore_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitspec_analysis.dir/cfg.cc.o"
+  "CMakeFiles/bitspec_analysis.dir/cfg.cc.o.d"
+  "CMakeFiles/bitspec_analysis.dir/demanded_bits.cc.o"
+  "CMakeFiles/bitspec_analysis.dir/demanded_bits.cc.o.d"
+  "CMakeFiles/bitspec_analysis.dir/dominators.cc.o"
+  "CMakeFiles/bitspec_analysis.dir/dominators.cc.o.d"
+  "CMakeFiles/bitspec_analysis.dir/liveness.cc.o"
+  "CMakeFiles/bitspec_analysis.dir/liveness.cc.o.d"
+  "CMakeFiles/bitspec_analysis.dir/loops.cc.o"
+  "CMakeFiles/bitspec_analysis.dir/loops.cc.o.d"
+  "CMakeFiles/bitspec_analysis.dir/verifier.cc.o"
+  "CMakeFiles/bitspec_analysis.dir/verifier.cc.o.d"
+  "libbitspec_analysis.a"
+  "libbitspec_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitspec_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

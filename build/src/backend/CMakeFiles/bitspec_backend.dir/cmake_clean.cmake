@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitspec_backend.dir/compiler.cc.o"
+  "CMakeFiles/bitspec_backend.dir/compiler.cc.o.d"
+  "CMakeFiles/bitspec_backend.dir/isel.cc.o"
+  "CMakeFiles/bitspec_backend.dir/isel.cc.o.d"
+  "CMakeFiles/bitspec_backend.dir/layout.cc.o"
+  "CMakeFiles/bitspec_backend.dir/layout.cc.o.d"
+  "CMakeFiles/bitspec_backend.dir/regalloc.cc.o"
+  "CMakeFiles/bitspec_backend.dir/regalloc.cc.o.d"
+  "libbitspec_backend.a"
+  "libbitspec_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitspec_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitspec_core.dir/system.cc.o"
+  "CMakeFiles/bitspec_core.dir/system.cc.o.d"
+  "libbitspec_core.a"
+  "libbitspec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitspec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

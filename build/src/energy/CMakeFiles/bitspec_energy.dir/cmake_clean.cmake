@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitspec_energy.dir/dts.cc.o"
+  "CMakeFiles/bitspec_energy.dir/dts.cc.o.d"
+  "CMakeFiles/bitspec_energy.dir/model.cc.o"
+  "CMakeFiles/bitspec_energy.dir/model.cc.o.d"
+  "libbitspec_energy.a"
+  "libbitspec_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitspec_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbitspec_energy.a"
+)

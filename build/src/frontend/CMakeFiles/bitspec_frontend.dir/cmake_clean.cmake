@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitspec_frontend.dir/irgen.cc.o"
+  "CMakeFiles/bitspec_frontend.dir/irgen.cc.o.d"
+  "CMakeFiles/bitspec_frontend.dir/lexer.cc.o"
+  "CMakeFiles/bitspec_frontend.dir/lexer.cc.o.d"
+  "CMakeFiles/bitspec_frontend.dir/parser.cc.o"
+  "CMakeFiles/bitspec_frontend.dir/parser.cc.o.d"
+  "libbitspec_frontend.a"
+  "libbitspec_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitspec_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitspec_interp.dir/interpreter.cc.o"
+  "CMakeFiles/bitspec_interp.dir/interpreter.cc.o.d"
+  "libbitspec_interp.a"
+  "libbitspec_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitspec_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitspec_ir.dir/clone.cc.o"
+  "CMakeFiles/bitspec_ir.dir/clone.cc.o.d"
+  "CMakeFiles/bitspec_ir.dir/instruction.cc.o"
+  "CMakeFiles/bitspec_ir.dir/instruction.cc.o.d"
+  "CMakeFiles/bitspec_ir.dir/printer.cc.o"
+  "CMakeFiles/bitspec_ir.dir/printer.cc.o.d"
+  "libbitspec_ir.a"
+  "libbitspec_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitspec_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitspec_isa.dir/encoding.cc.o"
+  "CMakeFiles/bitspec_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/bitspec_isa.dir/isa.cc.o"
+  "CMakeFiles/bitspec_isa.dir/isa.cc.o.d"
+  "libbitspec_isa.a"
+  "libbitspec_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitspec_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

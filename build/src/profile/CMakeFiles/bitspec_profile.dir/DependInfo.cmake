@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/bitwidth_profile.cc" "src/profile/CMakeFiles/bitspec_profile.dir/bitwidth_profile.cc.o" "gcc" "src/profile/CMakeFiles/bitspec_profile.dir/bitwidth_profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/bitspec_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/bitspec_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/bitspec_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bitspec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitspec_profile.dir/bitwidth_profile.cc.o"
+  "CMakeFiles/bitspec_profile.dir/bitwidth_profile.cc.o.d"
+  "libbitspec_profile.a"
+  "libbitspec_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitspec_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitspec_support.dir/bits.cc.o"
+  "CMakeFiles/bitspec_support.dir/bits.cc.o.d"
+  "CMakeFiles/bitspec_support.dir/rng.cc.o"
+  "CMakeFiles/bitspec_support.dir/rng.cc.o.d"
+  "CMakeFiles/bitspec_support.dir/stats.cc.o"
+  "CMakeFiles/bitspec_support.dir/stats.cc.o.d"
+  "CMakeFiles/bitspec_support.dir/str.cc.o"
+  "CMakeFiles/bitspec_support.dir/str.cc.o.d"
+  "libbitspec_support.a"
+  "libbitspec_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitspec_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

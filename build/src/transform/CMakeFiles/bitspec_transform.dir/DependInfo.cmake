@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/cfg_prep.cc" "src/transform/CMakeFiles/bitspec_transform.dir/cfg_prep.cc.o" "gcc" "src/transform/CMakeFiles/bitspec_transform.dir/cfg_prep.cc.o.d"
+  "/root/repo/src/transform/expander.cc" "src/transform/CMakeFiles/bitspec_transform.dir/expander.cc.o" "gcc" "src/transform/CMakeFiles/bitspec_transform.dir/expander.cc.o.d"
+  "/root/repo/src/transform/simplify.cc" "src/transform/CMakeFiles/bitspec_transform.dir/simplify.cc.o" "gcc" "src/transform/CMakeFiles/bitspec_transform.dir/simplify.cc.o.d"
+  "/root/repo/src/transform/squeezer.cc" "src/transform/CMakeFiles/bitspec_transform.dir/squeezer.cc.o" "gcc" "src/transform/CMakeFiles/bitspec_transform.dir/squeezer.cc.o.d"
+  "/root/repo/src/transform/ssa_repair.cc" "src/transform/CMakeFiles/bitspec_transform.dir/ssa_repair.cc.o" "gcc" "src/transform/CMakeFiles/bitspec_transform.dir/ssa_repair.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/bitspec_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/bitspec_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/bitspec_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/bitspec_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bitspec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitspec_transform.dir/cfg_prep.cc.o"
+  "CMakeFiles/bitspec_transform.dir/cfg_prep.cc.o.d"
+  "CMakeFiles/bitspec_transform.dir/expander.cc.o"
+  "CMakeFiles/bitspec_transform.dir/expander.cc.o.d"
+  "CMakeFiles/bitspec_transform.dir/simplify.cc.o"
+  "CMakeFiles/bitspec_transform.dir/simplify.cc.o.d"
+  "CMakeFiles/bitspec_transform.dir/squeezer.cc.o"
+  "CMakeFiles/bitspec_transform.dir/squeezer.cc.o.d"
+  "CMakeFiles/bitspec_transform.dir/ssa_repair.cc.o"
+  "CMakeFiles/bitspec_transform.dir/ssa_repair.cc.o.d"
+  "libbitspec_transform.a"
+  "libbitspec_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitspec_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

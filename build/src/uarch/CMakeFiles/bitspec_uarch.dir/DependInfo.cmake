@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/cache.cc" "src/uarch/CMakeFiles/bitspec_uarch.dir/cache.cc.o" "gcc" "src/uarch/CMakeFiles/bitspec_uarch.dir/cache.cc.o.d"
+  "/root/repo/src/uarch/core.cc" "src/uarch/CMakeFiles/bitspec_uarch.dir/core.cc.o" "gcc" "src/uarch/CMakeFiles/bitspec_uarch.dir/core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/backend/CMakeFiles/bitspec_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/bitspec_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/bitspec_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/bitspec_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bitspec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitspec_uarch.dir/cache.cc.o"
+  "CMakeFiles/bitspec_uarch.dir/cache.cc.o.d"
+  "CMakeFiles/bitspec_uarch.dir/core.cc.o"
+  "CMakeFiles/bitspec_uarch.dir/core.cc.o.d"
+  "libbitspec_uarch.a"
+  "libbitspec_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitspec_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitspec_workloads.dir/images.cc.o"
+  "CMakeFiles/bitspec_workloads.dir/images.cc.o.d"
+  "CMakeFiles/bitspec_workloads.dir/mibench.cc.o"
+  "CMakeFiles/bitspec_workloads.dir/mibench.cc.o.d"
+  "CMakeFiles/bitspec_workloads.dir/workload.cc.o"
+  "CMakeFiles/bitspec_workloads.dir/workload.cc.o.d"
+  "libbitspec_workloads.a"
+  "libbitspec_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitspec_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

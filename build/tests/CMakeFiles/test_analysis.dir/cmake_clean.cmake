@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/cfg_test.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/cfg_test.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/demanded_bits_test.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/demanded_bits_test.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/dominators_test.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/dominators_test.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/liveness_test.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/liveness_test.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/loops_test.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/loops_test.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/verifier_test.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/verifier_test.cc.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+  "test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

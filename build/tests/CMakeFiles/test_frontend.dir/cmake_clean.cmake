@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frontend.dir/frontend/irgen_test.cc.o"
+  "CMakeFiles/test_frontend.dir/frontend/irgen_test.cc.o.d"
+  "CMakeFiles/test_frontend.dir/frontend/lexer_test.cc.o"
+  "CMakeFiles/test_frontend.dir/frontend/lexer_test.cc.o.d"
+  "CMakeFiles/test_frontend.dir/frontend/parser_test.cc.o"
+  "CMakeFiles/test_frontend.dir/frontend/parser_test.cc.o.d"
+  "test_frontend"
+  "test_frontend.pdb"
+  "test_frontend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

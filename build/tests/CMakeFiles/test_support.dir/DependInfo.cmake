@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/bits_test.cc" "tests/CMakeFiles/test_support.dir/support/bits_test.cc.o" "gcc" "tests/CMakeFiles/test_support.dir/support/bits_test.cc.o.d"
+  "/root/repo/tests/support/rng_test.cc" "tests/CMakeFiles/test_support.dir/support/rng_test.cc.o" "gcc" "tests/CMakeFiles/test_support.dir/support/rng_test.cc.o.d"
+  "/root/repo/tests/support/stats_test.cc" "tests/CMakeFiles/test_support.dir/support/stats_test.cc.o" "gcc" "tests/CMakeFiles/test_support.dir/support/stats_test.cc.o.d"
+  "/root/repo/tests/support/str_test.cc" "tests/CMakeFiles/test_support.dir/support/str_test.cc.o" "gcc" "tests/CMakeFiles/test_support.dir/support/str_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/bitspec_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bitspec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/bitspec_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/bitspec_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/bitspec_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/bitspec_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/bitspec_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/bitspec_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/bitspec_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/bitspec_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/bitspec_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/bitspec_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bitspec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
