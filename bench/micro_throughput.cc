@@ -34,14 +34,35 @@ const char *kKernel = R"(
 )";
 
 void
-BM_InterpreterThroughput(benchmark::State &state)
+BM_InterpreterThroughput(benchmark::State &state, ExecEngine engine)
 {
     auto mod = compileSource(kKernel);
     Interpreter in(*mod);
+    in.setEngine(engine);
     uint64_t steps = 0;
     for (auto _ : state) {
         in.run("main", {64});
         steps = in.stats().steps;
+    }
+    state.counters["ir_instrs_per_s"] = benchmark::Counter(
+        static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+
+void
+BM_InterpreterProfiledThroughput(benchmark::State &state,
+                                 ExecEngine engine)
+{
+    // The profiler's hot path: decoded uses the built-in value
+    // profile, legacy the per-assignment std::function hook.
+    auto mod = compileSource(kKernel);
+    uint64_t steps = 0;
+    for (auto _ : state) {
+        BitwidthProfile profile;
+        Interpreter in(*mod);
+        in.setEngine(engine);
+        profile.profileRun(in, "main", {8});
+        steps = in.stats().steps;
+        benchmark::DoNotOptimize(profile.totalAssignments());
     }
     state.counters["ir_instrs_per_s"] = benchmark::Counter(
         static_cast<double>(steps), benchmark::Counter::kIsRate);
@@ -97,7 +118,13 @@ BM_FullSystemBuild(benchmark::State &state)
     }
 }
 
-BENCHMARK(BM_InterpreterThroughput);
+BENCHMARK_CAPTURE(BM_InterpreterThroughput, decoded,
+                  ExecEngine::Decoded);
+BENCHMARK_CAPTURE(BM_InterpreterThroughput, legacy, ExecEngine::Legacy);
+BENCHMARK_CAPTURE(BM_InterpreterProfiledThroughput, decoded,
+                  ExecEngine::Decoded);
+BENCHMARK_CAPTURE(BM_InterpreterProfiledThroughput, legacy,
+                  ExecEngine::Legacy);
 BENCHMARK(BM_CoreThroughput);
 BENCHMARK(BM_CompileBaseline);
 BENCHMARK(BM_SqueezePipeline);

@@ -64,25 +64,22 @@ System::System(const std::string &source, const SystemConfig &config,
 
     expandStats_ = expandModule(*module_, config_.expander);
 
+    // One persistent training interpreter: a single profiled run yields
+    // both the dynamic IR step count and the bitwidth profile (the
+    // training input used to be executed twice for this).
+    trainInterp_ = std::make_unique<Interpreter>(*module_);
     if (config_.squeeze) {
         BitwidthProfile profile;
-        {
-            // Profiling interpreter counts dynamic IR instructions of
-            // the training input as a side product.
-            Interpreter interp(*module_);
-            interp.onAssign = [](const Instruction *, uint64_t) {};
-            // (profileRun creates its own interpreter; run here only
-            // to record the step count.)
-            interp.run("main", train_args);
-            trainIrSteps_ = interp.stats().steps;
-        }
-        profile.profileRun(*module_, "main", train_args);
+        profile.profileRun(*trainInterp_, "main", train_args);
+        trainIrSteps_ = trainInterp_->stats().steps;
         squeezeStats_ =
             squeezeModule(*module_, profile, config_.squeezeOpts);
+        // The squeezer restructured the module; cached decoded
+        // functions are stale.
+        trainInterp_->invalidate();
     } else {
-        Interpreter interp(*module_);
-        interp.run("main", train_args);
-        trainIrSteps_ = interp.stats().steps;
+        trainInterp_->run("main", train_args);
+        trainIrSteps_ = trainInterp_->stats().steps;
     }
 
     compiled_ = compileModule(*module_, config_.isa);

@@ -18,6 +18,7 @@
 #include "backend/compiler.h"
 #include "energy/dts.h"
 #include "energy/model.h"
+#include "interp/interpreter.h"
 #include "transform/expander.h"
 #include "transform/squeezer.h"
 #include "uarch/core.h"
@@ -101,6 +102,9 @@ class System
   private:
     SystemConfig config_;
     std::unique_ptr<Module> module_;
+    /** Interpreter used for the training run; invalidated whenever a
+     *  transform mutates the module (see Interpreter::invalidate). */
+    std::unique_ptr<Interpreter> trainInterp_;
     CompiledProgram compiled_;
     SqueezeStats squeezeStats_;
     ExpandStats expandStats_;

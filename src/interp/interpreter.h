@@ -9,14 +9,26 @@
  *  3. Speculative semantics — squeezed programs execute with Table-1
  *     misspeculation behaviour (redirect to the region handler), which
  *     lets the squeezer be validated before any machine code exists.
+ *
+ * Two execution engines share these semantics bit-for-bit:
+ *  - Decoded (default): each Function is flattened once into a
+ *    DecodedFunction (see decode.h) and executed by an
+ *    index-dispatched loop with no per-instruction operand resolution,
+ *    no per-block map lookups and no per-block allocation. Hook
+ *    dispatch is hoisted out of the loop, so hook-free runs pay
+ *    nothing for instrumentation.
+ *  - Legacy: the original tree-walking loop, kept as a differential
+ *    reference.
  */
 
 #ifndef BITSPEC_INTERP_INTERPRETER_H_
 #define BITSPEC_INTERP_INTERPRETER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "ir/module.h"
@@ -24,6 +36,8 @@
 
 namespace bitspec
 {
+
+class DecodedFunction;
 
 /** How speculative instructions behave during interpretation. */
 enum class MisspecPolicy
@@ -38,6 +52,15 @@ enum class MisspecPolicy
     Random,
 };
 
+/** Which execution engine Interpreter::run uses. */
+enum class ExecEngine
+{
+    /** Pre-decoded, index-dispatched engine (fast path). */
+    Decoded,
+    /** Original tree-walking engine (differential reference). */
+    Legacy,
+};
+
 /** Aggregate execution statistics. */
 struct InterpStats
 {
@@ -46,6 +69,8 @@ struct InterpStats
     uint64_t misspeculations = 0;
     uint64_t calls = 0;
     uint64_t outputs = 0;
+
+    bool operator==(const InterpStats &) const = default;
 };
 
 /** Executes IR modules against a flat little-endian memory. */
@@ -56,6 +81,7 @@ class Interpreter
     static constexpr uint64_t kDefaultFuel = 400'000'000;
 
     explicit Interpreter(Module &m, size_t mem_bytes = kDefaultMemBytes);
+    ~Interpreter();
 
     /** Re-copy global initialisers into memory and clear outputs/stats. */
     void reset();
@@ -77,6 +103,48 @@ class Interpreter
     void setMisspecPolicy(MisspecPolicy p) { policy_ = p; }
     void setRandomSeed(uint64_t seed) { rng_ = Rng(seed); }
 
+    void setEngine(ExecEngine e) { engine_ = e; }
+    ExecEngine engine() const { return engine_; }
+
+    /**
+     * Drop every cached per-function artefact: decoded functions,
+     * frame-slot counts and legacy region maps, plus accumulated
+     * value-profile data (drain it first via valueProfile()).
+     *
+     * Must be called after a transform mutates the module — decoded
+     * functions bake in operand slots, block indices and global
+     * addresses, so executing a stale cache is undefined. System calls
+     * this after the expander and squeezer run.
+     */
+    void invalidate();
+
+    /** @name Built-in value profile (decoded engine)
+     * The profiler's hot path: instead of an onAssign std::function
+     * per assignment, the decoded engine accumulates min/max/sum/count
+     * of requiredBits() into dense arrays indexed by decoded
+     * instruction id; the id -> Instruction mapping is applied only at
+     * the edge, in valueProfile().
+     */
+    /// @{
+    void enableValueProfile() { profileEnabled_ = true; }
+
+    struct ValueProfileEntry
+    {
+        const Instruction *inst;
+        unsigned minBits;
+        unsigned maxBits;
+        uint64_t sumBits;
+        uint64_t count;
+    };
+
+    /** Executed assignment sites with accumulated bit statistics. */
+    std::vector<ValueProfileEntry> valueProfile() const;
+
+    /** As valueProfile(), but zeroes the accumulators so repeated
+     *  training runs are not double-counted. */
+    std::vector<ValueProfileEntry> takeValueProfile();
+    /// @}
+
     /**
      * Per-assignment hook: called with every executed integer-producing
      * instruction and the value produced. Used by the profiler and the
@@ -94,9 +162,41 @@ class Interpreter
     /// @}
 
   private:
+    /** Legacy per-function info, hoisted out of callFunction. */
+    struct LegacyFunctionInfo
+    {
+        std::unordered_map<const BasicBlock *, SpecRegion *> regionOf;
+    };
+
+    /** Dense value-profile accumulator cell. */
+    struct ProfCell
+    {
+        unsigned minBits = 64;
+        unsigned maxBits = 1;
+        uint64_t sumBits = 0;
+        uint64_t count = 0;
+    };
+
     uint64_t callFunction(Function *f, const std::vector<uint64_t> &args,
                           unsigned depth);
+    uint64_t callDecoded(Function *f, const uint64_t *args, size_t nargs,
+                         unsigned depth);
+    template <bool kHooks, bool kProfile>
+    uint64_t execDecoded(const DecodedFunction &df, size_t base,
+                         unsigned depth);
+    const DecodedFunction &decodedFor(Function *f);
+    const LegacyFunctionInfo &legacyInfo(Function *f);
     unsigned slotsOf(Function *f);
+
+    void
+    profileAssign(uint32_t id, unsigned bits)
+    {
+        ProfCell &c = prof_[id];
+        c.minBits = std::min(c.minBits, bits);
+        c.maxBits = std::max(c.maxBits, bits);
+        c.sumBits += bits;
+        ++c.count;
+    }
 
     Module &module_;
     std::vector<uint8_t> memory_;
@@ -104,8 +204,21 @@ class Interpreter
     InterpStats stats_;
     uint64_t fuel_ = kDefaultFuel;
     MisspecPolicy policy_ = MisspecPolicy::Hardware;
+    ExecEngine engine_ = ExecEngine::Decoded;
     Rng rng_{0x5eed};
-    std::map<Function *, unsigned> slotCache_;
+
+    std::unordered_map<Function *, unsigned> slotCache_;
+    std::unordered_map<Function *, std::unique_ptr<DecodedFunction>>
+        decodeCache_;
+    std::unordered_map<Function *, LegacyFunctionInfo> legacyCache_;
+
+    /** Decoded-engine frame stack (slot storage for the call chain). */
+    std::vector<uint64_t> dstack_;
+    size_t dstackTop_ = 0;
+
+    bool profileEnabled_ = false;
+    std::vector<ProfCell> prof_;
+    std::vector<const Instruction *> profInst_;
 };
 
 } // namespace bitspec

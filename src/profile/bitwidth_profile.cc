@@ -22,6 +22,28 @@ BitwidthProfile::profileRun(Module &m, const std::string &fn,
                             const std::vector<uint64_t> &args)
 {
     Interpreter interp(m);
+    profileRun(interp, fn, args);
+}
+
+void
+BitwidthProfile::profileRun(Interpreter &interp, const std::string &fn,
+                            const std::vector<uint64_t> &args)
+{
+    interp.reset();
+    if (interp.engine() == ExecEngine::Decoded) {
+        interp.enableValueProfile();
+        interp.run(fn, args);
+        for (const auto &e : interp.takeValueProfile()) {
+            VarBitStats &s = stats_[e.inst];
+            s.minBits = std::min(s.minBits, e.minBits);
+            s.maxBits = std::max(s.maxBits, e.maxBits);
+            s.sumBits += e.sumBits;
+            s.count += e.count;
+        }
+        return;
+    }
+    // Legacy engine: per-assignment hook.
+    auto saved = interp.onAssign;
     interp.onAssign = [this](const Instruction *inst, uint64_t value) {
         unsigned bits = requiredBits(value);
         VarBitStats &s = stats_[inst];
@@ -31,6 +53,7 @@ BitwidthProfile::profileRun(Module &m, const std::string &fn,
         ++s.count;
     };
     interp.run(fn, args);
+    interp.onAssign = saved;
 }
 
 unsigned

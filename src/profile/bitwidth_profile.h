@@ -13,6 +13,11 @@
  * requires 32 bits. This makes "fits in its selection" mean "zero
  * extension reproduces the original", which is the correctness
  * condition the squeezer relies on (Squeezable?, Eq. 3).
+ *
+ * With the decoded engine the profiler uses the interpreter's built-in
+ * value profile (dense arrays indexed by decoded instruction id) and
+ * maps ids back to Instruction pointers only once per run; the
+ * per-assignment std::function hook remains as the legacy-engine path.
  */
 
 #ifndef BITSPEC_PROFILE_BITWIDTH_PROFILE_H_
@@ -20,8 +25,8 @@
 
 #include <array>
 #include <cstdint>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "interp/interpreter.h"
@@ -70,6 +75,15 @@ class BitwidthProfile
     void profileRun(Module &m, const std::string &fn = "main",
                     const std::vector<uint64_t> &args = {});
 
+    /**
+     * Profile through a caller-owned interpreter, so one training run
+     * can also feed the caller's step counts / checksum. Resets @p
+     * interp, runs, and accumulates. Uses the built-in value profile
+     * on the decoded engine and the onAssign hook on the legacy one.
+     */
+    void profileRun(Interpreter &interp, const std::string &fn = "main",
+                    const std::vector<uint64_t> &args = {});
+
     /** T(v): target bits for @p inst under @p h; the declared width
      *  when the instruction was never executed. */
     unsigned target(const Instruction *inst, Heuristic h) const;
@@ -95,7 +109,7 @@ class BitwidthProfile
     uint64_t totalAssignments() const;
 
   private:
-    std::map<const Instruction *, VarBitStats> stats_;
+    std::unordered_map<const Instruction *, VarBitStats> stats_;
 };
 
 } // namespace bitspec

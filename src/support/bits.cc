@@ -1,19 +1,7 @@
 #include "support/bits.h"
 
-#include <bit>
-
-#include "support/error.h"
-
 namespace bitspec
 {
-
-unsigned
-requiredBits(uint64_t value)
-{
-    if (value == 0)
-        return 1;
-    return 64u - static_cast<unsigned>(std::countl_zero(value));
-}
 
 unsigned
 requiredBitsSigned(int64_t value)
@@ -28,56 +16,6 @@ requiredBitsSigned(int64_t value)
         return requiredBits(static_cast<uint64_t>(value)) + 1;
     uint64_t folded = static_cast<uint64_t>(~value);
     return requiredBits(folded) + 1;
-}
-
-unsigned
-bitwidthClass(unsigned bits)
-{
-    if (bits <= 8)
-        return 8;
-    if (bits <= 16)
-        return 16;
-    if (bits <= 32)
-        return 32;
-    return 64;
-}
-
-uint64_t
-lowMask(unsigned bits)
-{
-    bsAssert(bits >= 1 && bits <= 64, "lowMask: bits out of range");
-    if (bits == 64)
-        return ~0ULL;
-    return (1ULL << bits) - 1;
-}
-
-uint64_t
-truncTo(uint64_t value, unsigned bits)
-{
-    return value & lowMask(bits);
-}
-
-uint64_t
-zextFrom(uint64_t value, unsigned bits)
-{
-    return truncTo(value, bits);
-}
-
-uint64_t
-sextFrom(uint64_t value, unsigned bits)
-{
-    bsAssert(bits >= 1 && bits <= 64, "sextFrom: bits out of range");
-    uint64_t v = truncTo(value, bits);
-    if (bits == 64)
-        return v;
-    uint64_t sign = 1ULL << (bits - 1);
-    return (v ^ sign) - sign;
-}
-
-bool
-fitsUnsigned(uint64_t value, unsigned bits)
-{
-    return requiredBits(value) <= bits;
 }
 
 } // namespace bitspec

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Differential test between the two interpreter execution engines.
+ *
+ * For every registered workload, the pre-decoded engine must be
+ * observationally identical to the legacy tree-walking engine: same
+ * return value, same output checksum, same InterpStats (steps,
+ * assignments, misspeculations, calls, outputs) and same
+ * per-instruction bitwidth-profile statistics — on the plain module
+ * and on the squeezed module under all three MisspecPolicy values
+ * (Random with a shared seed, which also checks that both engines
+ * consume the RNG in the same sequence).
+ */
+
+#include <gtest/gtest.h>
+
+#include "frontend/irgen.h"
+#include "interp/interpreter.h"
+#include "profile/bitwidth_profile.h"
+#include "transform/squeezer.h"
+#include "workloads/workload.h"
+
+namespace bitspec
+{
+namespace
+{
+
+struct EngineRun
+{
+    uint64_t ret;
+    uint64_t checksum;
+    InterpStats stats;
+};
+
+EngineRun
+runEngine(Module &m, ExecEngine engine, MisspecPolicy policy,
+          uint64_t seed)
+{
+    Interpreter in(m);
+    in.setEngine(engine);
+    in.setMisspecPolicy(policy);
+    in.setRandomSeed(seed);
+    EngineRun r;
+    r.ret = in.run("main");
+    r.checksum = in.outputChecksum();
+    r.stats = in.stats();
+    return r;
+}
+
+void
+expectSameRun(const EngineRun &legacy, const EngineRun &decoded,
+              const std::string &what)
+{
+    EXPECT_EQ(legacy.ret, decoded.ret) << what;
+    EXPECT_EQ(legacy.checksum, decoded.checksum) << what;
+    EXPECT_EQ(legacy.stats.steps, decoded.stats.steps) << what;
+    EXPECT_EQ(legacy.stats.intAssignments, decoded.stats.intAssignments)
+        << what;
+    EXPECT_EQ(legacy.stats.misspeculations,
+              decoded.stats.misspeculations)
+        << what;
+    EXPECT_EQ(legacy.stats.calls, decoded.stats.calls) << what;
+    EXPECT_EQ(legacy.stats.outputs, decoded.stats.outputs) << what;
+    EXPECT_TRUE(legacy.stats == decoded.stats) << what;
+}
+
+/** Per-instruction profile equality across every instruction of @p m. */
+void
+expectSameProfile(Module &m, const BitwidthProfile &legacy,
+                  const BitwidthProfile &decoded, const std::string &what)
+{
+    for (const auto &f : m.functions()) {
+        for (const auto &bb : f->blocks()) {
+            for (const auto &inst : bb->insts()) {
+                const Instruction *i = inst.get();
+                const VarBitStats *a = legacy.statsFor(i);
+                const VarBitStats *b = decoded.statsFor(i);
+                ASSERT_EQ(a == nullptr, b == nullptr)
+                    << what << ": profiled-instruction sets differ in "
+                    << f->name();
+                if (!a)
+                    continue;
+                EXPECT_EQ(a->count, b->count) << what;
+                EXPECT_EQ(a->minBits, b->minBits) << what;
+                EXPECT_EQ(a->maxBits, b->maxBits) << what;
+                EXPECT_EQ(a->sumBits, b->sumBits) << what;
+            }
+        }
+    }
+    EXPECT_EQ(legacy.totalAssignments(), decoded.totalAssignments())
+        << what;
+}
+
+class EngineDiff : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(EngineDiff, PlainModuleMatches)
+{
+    const Workload &w = getWorkload(GetParam());
+    auto mod = compileSource(w.source);
+    w.setInput(*mod, 0);
+
+    EngineRun legacy = runEngine(*mod, ExecEngine::Legacy,
+                                 MisspecPolicy::Hardware, 42);
+    EngineRun decoded = runEngine(*mod, ExecEngine::Decoded,
+                                  MisspecPolicy::Hardware, 42);
+    expectSameRun(legacy, decoded, w.name + "/plain");
+}
+
+TEST_P(EngineDiff, ProfileCountsMatch)
+{
+    const Workload &w = getWorkload(GetParam());
+    auto mod = compileSource(w.source);
+    w.setInput(*mod, 0);
+
+    BitwidthProfile p_legacy, p_decoded;
+    {
+        Interpreter in(*mod);
+        in.setEngine(ExecEngine::Legacy);
+        p_legacy.profileRun(in, "main");
+    }
+    {
+        Interpreter in(*mod);
+        in.setEngine(ExecEngine::Decoded);
+        p_decoded.profileRun(in, "main");
+    }
+    expectSameProfile(*mod, p_legacy, p_decoded, w.name + "/profile");
+}
+
+TEST_P(EngineDiff, SqueezedModuleMatchesUnderAllPolicies)
+{
+    const Workload &w = getWorkload(GetParam());
+    auto mod = compileSource(w.source);
+    w.setInput(*mod, 0);
+
+    BitwidthProfile profile;
+    profile.profileRun(*mod, "main");
+    SqueezeOptions opts;
+    squeezeModule(*mod, profile, opts);
+
+    for (MisspecPolicy policy :
+         {MisspecPolicy::Hardware, MisspecPolicy::ForceFirst,
+          MisspecPolicy::Random}) {
+        EngineRun legacy =
+            runEngine(*mod, ExecEngine::Legacy, policy, 42);
+        EngineRun decoded =
+            runEngine(*mod, ExecEngine::Decoded, policy, 42);
+        expectSameRun(legacy, decoded,
+                      w.name + "/squeezed/policy" +
+                          std::to_string(static_cast<int>(policy)));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mibench, EngineDiff,
+    ::testing::Values("CRC32", "FFT", "basicmath", "bitcount",
+                      "blowfish", "dijkstra", "patricia", "qsort",
+                      "rijndael", "sha", "stringsearch", "susan-edges",
+                      "susan-corners", "susan-smoothing"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace bitspec

@@ -116,6 +116,74 @@ TEST(Interp, StoreThenLoadRoundTrip)
     EXPECT_EQ(in.run("wr", {0xbeef}), 0xbeefu);
 }
 
+TEST(Interp, MemBoundsGuardDoesNotWrapAt32Bits)
+{
+    // Regression: `addr + bytes` was computed in 32 bits, so an access
+    // near UINT32_MAX wrapped past the guard and read out of bounds.
+    Module m;
+    Interpreter in(m);
+    EXPECT_THROW(in.loadMem(0xfffffffcu, 64), FatalError);
+    EXPECT_THROW(in.storeMem(0xfffffffcu, 0, 64), FatalError);
+    EXPECT_THROW(in.loadMem(0xffffffffu, 8), FatalError);
+    EXPECT_THROW(in.storeMem(0xffffffffu, 0, 8), FatalError);
+}
+
+TEST(Interp, PhiParallelCopySwapCycle)
+{
+    // Two phis that exchange values each iteration form a parallel-copy
+    // cycle; the decoded engine must break it through its scratch slot.
+    Module m;
+    Function *f = m.addFunction("swap", Type::i32(), {Type::i32()});
+    IRBuilder b(&m);
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *loop = f->addBlock("loop");
+    BasicBlock *exit = f->addBlock("exit");
+    b.setInsertPoint(entry);
+    b.br(loop);
+    b.setInsertPoint(loop);
+    Instruction *x = b.phi(Type::i32(), "x");
+    Instruction *y = b.phi(Type::i32(), "y");
+    Instruction *i = b.phi(Type::i32(), "i");
+    Instruction *inext = b.add(i, b.constI32(1));
+    Instruction *done = b.icmp(CmpPred::UGE, inext, f->arg(0));
+    b.condBr(done, exit, loop);
+    IRBuilder::addIncoming(x, b.constI32(1), entry);
+    IRBuilder::addIncoming(x, y, loop);
+    IRBuilder::addIncoming(y, b.constI32(2), entry);
+    IRBuilder::addIncoming(y, x, loop);
+    IRBuilder::addIncoming(i, b.constI32(0), entry);
+    IRBuilder::addIncoming(i, inext, loop);
+    b.setInsertPoint(exit);
+    b.ret(b.add(b.mul(x, b.constI32(100)), y));
+
+    for (ExecEngine engine : {ExecEngine::Decoded, ExecEngine::Legacy}) {
+        Interpreter in(m);
+        in.setEngine(engine);
+        // n=3: two swaps, back to (1, 2); n=4: three swaps, (2, 1).
+        EXPECT_EQ(in.run("swap", {3}), 102u);
+        EXPECT_EQ(in.run("swap", {4}), 201u);
+    }
+}
+
+TEST(Interp, InvalidateRefreshesDecodedCache)
+{
+    Module m;
+    Function *f = m.addFunction("f", Type::i32(), {Type::i32()});
+    IRBuilder b(&m);
+    BasicBlock *bb = f->addBlock("entry");
+    b.setInsertPoint(bb);
+    Instruction *v = b.add(f->arg(0), b.constI32(1));
+    b.ret(v);
+    Interpreter in(m);
+    EXPECT_EQ(in.run("f", {41}), 42u);
+    // Mutating the module leaves the decoded cache stale until
+    // invalidate() — the documented contract with transform/.
+    v->setOperand(1, m.getConst(Type::i32(), 2));
+    EXPECT_EQ(in.run("f", {41}), 42u);
+    in.invalidate();
+    EXPECT_EQ(in.run("f", {41}), 43u);
+}
+
 TEST(Interp, CallsAndRecursion)
 {
     // fib(n) via naive recursion.
