@@ -6,6 +6,13 @@
  * (§4) and prints the same rows/series the paper reports. Absolute
  * numbers come from this repo's simulator + energy model; the shapes
  * (who wins, by roughly what factor) are the reproduction target.
+ *
+ * All benches evaluate their (workload x config x seed) matrices
+ * through the process-wide ExperimentRunner: cells run across a
+ * thread pool (BITSPEC_JOBS workers, default hardware concurrency),
+ * results come back in submission order, and compiled Systems are
+ * memoized so a BASELINE build shared by several series compiles
+ * once. Output is byte-identical to the old serial loops.
  */
 
 #ifndef BITSPEC_BENCH_COMMON_H_
@@ -15,15 +22,51 @@
 #include <string>
 #include <vector>
 
+#include "core/experiment.h"
 #include "core/system.h"
 #include "support/stats.h"
 #include "support/str.h"
+#include "support/threadpool.h"
 #include "workloads/workload.h"
 
 namespace bitspec::bench
 {
 
-/** Build a System for @p w profiled on @p profile_seed. */
+/** The binary-wide experiment runner (cache persists across
+ *  matrices, so e.g. every series' BASELINE builds are shared). */
+inline ExperimentRunner &
+runner()
+{
+    static ExperimentRunner r;
+    return r;
+}
+
+/** Shorthand for one matrix cell. */
+inline ExperimentCell
+cell(const Workload &w, const SystemConfig &cfg,
+     uint64_t profile_seed = 0, uint64_t run_seed = 0)
+{
+    return ExperimentCell{&w, cfg, profile_seed, run_seed};
+}
+
+/** Run a whole matrix; results in submission order. */
+inline std::vector<RunResult>
+runMatrix(const std::vector<ExperimentCell> &cells)
+{
+    return runner().run(cells);
+}
+
+/** Compile + run one cell through the runner (and its cache). */
+inline RunResult
+evaluate(const Workload &w, const SystemConfig &cfg,
+         uint64_t profile_seed = 0, uint64_t run_seed = 0)
+{
+    return runner().evaluate(w, cfg, profile_seed, run_seed);
+}
+
+/** Build a System for @p w profiled on @p profile_seed, bypassing
+ *  the runner's cache (used by tests and the smoke harness to get an
+ *  uncached serial reference). */
 inline System
 makeSystem(const Workload &w, const SystemConfig &cfg,
            uint64_t profile_seed = 0)
@@ -37,15 +80,6 @@ inline RunResult
 runSeed(System &sys, const Workload &w, uint64_t run_seed = 0)
 {
     return sys.run([&](Module &m) { w.setInput(m, run_seed); });
-}
-
-/** Compile + run in one step. */
-inline RunResult
-evaluate(const Workload &w, const SystemConfig &cfg,
-         uint64_t profile_seed = 0, uint64_t run_seed = 0)
-{
-    System sys = makeSystem(w, cfg, profile_seed);
-    return runSeed(sys, w, run_seed);
 }
 
 inline void

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Experiment-engine smoke harness: runs the Fig. 8 matrix and a
+ * trimmed Fig. 16 profile/run grid twice — once serially with
+ * fresh (uncached) Systems, once through the ExperimentRunner — and
+ * records wall times, cell counts and System-cache hit rates.
+ *
+ * Results are verified bit-identical between the two paths, then
+ * appended as an "experiment_engine" section to the BENCH_micro.json
+ * written by micro_throughput (path passed as argv[1]; prints to
+ * stdout only when omitted).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../bench/common.h"
+
+using namespace bitspec;
+using namespace bitspec::bench;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+seconds(Clock::time_point a, Clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+/** The fields the figures consume; any divergence between the serial
+ *  and runner paths fails the smoke test. */
+bool
+sameResult(const RunResult &a, const RunResult &b)
+{
+    return a.returnValue == b.returnValue &&
+           a.outputChecksum == b.outputChecksum &&
+           a.counters.instructions == b.counters.instructions &&
+           a.counters.cycles == b.counters.cycles &&
+           a.totalEnergy == b.totalEnergy && a.epi == b.epi;
+}
+
+struct GridTiming
+{
+    std::string name;
+    size_t cells = 0;
+    uint64_t systemsBuilt = 0;
+    uint64_t cacheHits = 0;
+    double serialSec = 0;
+    double parallelSec = 0;
+    bool identical = true;
+};
+
+/** Run @p cells serially with fresh Systems, then through a fresh
+ *  runner, and compare. */
+GridTiming
+measure(const std::string &name,
+        const std::vector<ExperimentCell> &cells)
+{
+    GridTiming t;
+    t.name = name;
+    t.cells = cells.size();
+
+    auto s0 = Clock::now();
+    std::vector<RunResult> serial;
+    serial.reserve(cells.size());
+    for (const ExperimentCell &c : cells) {
+        System sys = makeSystem(*c.workload, c.config, c.profileSeed);
+        serial.push_back(runSeed(sys, *c.workload, c.runSeed));
+    }
+    auto s1 = Clock::now();
+    t.serialSec = seconds(s0, s1);
+
+    ExperimentRunner runner;
+    auto p0 = Clock::now();
+    std::vector<RunResult> par = runner.run(cells);
+    auto p1 = Clock::now();
+    t.parallelSec = seconds(p0, p1);
+    t.systemsBuilt = runner.stats().systemsBuilt;
+    t.cacheHits = runner.stats().cacheHits;
+
+    for (size_t i = 0; i < cells.size(); ++i)
+        if (!sameResult(serial[i], par[i]))
+            t.identical = false;
+    return t;
+}
+
+std::vector<ExperimentCell>
+fig08Cells()
+{
+    std::vector<ExperimentCell> cells;
+    for (const Workload &w : mibenchSuite()) {
+        cells.push_back(cell(w, SystemConfig::baseline()));
+        cells.push_back(cell(w, SystemConfig::bitspec()));
+    }
+    return cells;
+}
+
+std::vector<ExperimentCell>
+fig16Cells(unsigned images)
+{
+    const Workload &w = getWorkload("susan-edges");
+    const SystemConfig cfg = SystemConfig::bitspec(Heuristic::Max);
+    std::vector<ExperimentCell> cells;
+    for (unsigned i = 0; i < images; ++i)
+        for (unsigned j = 0; j < images; ++j)
+            cells.push_back(cell(w, cfg, 100 + i, 100 + j));
+    return cells;
+}
+
+std::string
+jsonSection(const std::vector<GridTiming> &grids, unsigned threads)
+{
+    std::ostringstream os;
+    os << "  \"experiment_engine\": {\n";
+    os << "    \"threads\": " << threads << ",\n";
+    os << "    \"grids\": [\n";
+    for (size_t i = 0; i < grids.size(); ++i) {
+        const GridTiming &g = grids[i];
+        os << "      {\n";
+        os << "        \"name\": \"" << g.name << "\",\n";
+        os << "        \"cells\": " << g.cells << ",\n";
+        os << "        \"systems_built\": " << g.systemsBuilt << ",\n";
+        os << "        \"cache_hits\": " << g.cacheHits << ",\n";
+        os << "        \"serial_sec\": " << g.serialSec << ",\n";
+        os << "        \"parallel_sec\": " << g.parallelSec << ",\n";
+        os << "        \"speedup\": "
+           << (g.parallelSec > 0 ? g.serialSec / g.parallelSec : 0)
+           << ",\n";
+        os << "        \"bit_identical\": "
+           << (g.identical ? "true" : "false") << "\n";
+        os << "      }" << (i + 1 < grids.size() ? "," : "") << "\n";
+    }
+    os << "    ]\n";
+    os << "  }\n";
+    return os.str();
+}
+
+/** Splice the section into the google-benchmark JSON by inserting it
+ *  before the final closing brace. */
+bool
+appendToJson(const std::string &path, const std::string &section)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+    size_t brace = text.find_last_of('}');
+    if (brace == std::string::npos)
+        return false;
+    // Trim trailing whitespace before the brace, then join with ",".
+    size_t end = text.find_last_not_of(" \t\n\r", brace - 1);
+    if (end == std::string::npos)
+        return false;
+    std::string out = text.substr(0, end + 1) + ",\n" + section + "}\n";
+    std::ofstream of(path, std::ios::trunc);
+    if (!of)
+        return false;
+    of << out;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printHeader("Experiment-engine smoke",
+                "Serial (fresh System per cell) vs ExperimentRunner "
+                "(pooled + memoized System cache); results verified "
+                "bit-identical.");
+
+    std::vector<GridTiming> grids;
+    grids.push_back(measure("fig08_matrix", fig08Cells()));
+    grids.push_back(measure("fig16_grid_8x8", fig16Cells(8)));
+
+    unsigned threads = ThreadPool::defaultThreadCount();
+    bool all_identical = true;
+    for (const GridTiming &g : grids) {
+        all_identical = all_identical && g.identical;
+        std::printf("%-16s cells=%-4zu builds=%-3llu hits=%-4llu "
+                    "serial=%.3fs parallel=%.3fs speedup=%.2fx "
+                    "identical=%s\n",
+                    g.name.c_str(), g.cells,
+                    static_cast<unsigned long long>(g.systemsBuilt),
+                    static_cast<unsigned long long>(g.cacheHits),
+                    g.serialSec, g.parallelSec,
+                    g.parallelSec > 0 ? g.serialSec / g.parallelSec
+                                      : 0.0,
+                    g.identical ? "yes" : "NO");
+    }
+    std::printf("threads=%u\n", threads);
+
+    if (argc > 1) {
+        if (appendToJson(argv[1], jsonSection(grids, threads)))
+            std::printf("appended experiment_engine section to %s\n",
+                        argv[1]);
+        else
+            std::printf("could not update %s; section follows:\n%s",
+                        argv[1], jsonSection(grids, threads).c_str());
+    }
+    return all_identical ? 0 : 1;
+}

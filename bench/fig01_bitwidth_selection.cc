@@ -6,6 +6,7 @@
  * (d) basic-block-granularity coercion [Pokam et al.].
  */
 
+#include <future>
 #include <map>
 
 #include "../bench/common.h"
@@ -13,6 +14,7 @@
 #include "frontend/irgen.h"
 #include "interp/interpreter.h"
 #include "support/bits.h"
+#include "support/threadpool.h"
 
 using namespace bitspec;
 
@@ -53,7 +55,13 @@ main()
         "(a) required  (b) programmer-selected  (c) demanded-bits  "
         "(d) basic-block max");
 
+    // One self-contained task per workload; results are strings
+    // printed in submission order so the table is identical to the
+    // serial version regardless of thread count.
+    ThreadPool pool;
+    std::vector<std::future<std::string>> rows;
     for (const Workload &w : mibenchSuite()) {
+        rows.push_back(pool.submit([&w]() -> std::string {
         auto mod = compileSource(w.source);
         w.setInput(*mod, 0);
 
@@ -101,12 +109,18 @@ main()
         for (const auto &[inst, n] : exec_count)
             block_hist.add(block_max[inst->parent()], n);
 
-        std::printf("%-16s\n", w.name.c_str());
-        std::printf("  (a) required    %s\n", required.str().c_str());
-        std::printf("  (b) programmer  %s\n", programmer.str().c_str());
-        std::printf("  (c) demanded    %s\n",
-                    demand_hist.str().c_str());
-        std::printf("  (d) block max   %s\n", block_hist.str().c_str());
+        return strFormat("%-16s\n"
+                         "  (a) required    %s\n"
+                         "  (b) programmer  %s\n"
+                         "  (c) demanded    %s\n"
+                         "  (d) block max   %s\n",
+                         w.name.c_str(), required.str().c_str(),
+                         programmer.str().c_str(),
+                         demand_hist.str().c_str(),
+                         block_hist.str().c_str());
+        }));
     }
+    for (auto &row : rows)
+        std::fputs(row.get().c_str(), stdout);
     return 0;
 }

@@ -5,10 +5,13 @@
  * (register pressure) — the expander motivation (§2.5).
  */
 
+#include <future>
+
 #include "../bench/common.h"
 #include "backend/compiler.h"
 #include "frontend/irgen.h"
 #include "interp/interpreter.h"
+#include "support/threadpool.h"
 #include "transform/expander.h"
 #include "uarch/core.h"
 
@@ -34,29 +37,39 @@ main()
     )";
 
     std::printf("%-8s %12s %12s\n", "factor", "IR", "ASM");
+    // Each unroll factor is an independent compile+run; fan them out
+    // across the pool and print rows in factor order.
+    ThreadPool pool;
+    std::vector<std::future<std::string>> rows;
     for (unsigned factor : {1u, 2u, 4u, 8u, 16u}) {
-        auto mod = compileSource(src);
-        Global *g = mod->getGlobal("data");
-        for (size_t i = 0; i < g->elemCount(); ++i)
-            g->setElem(i, (i * 2654435761u) & 0xffff);
+        rows.push_back(pool.submit([src, factor]() -> std::string {
+            auto mod = compileSource(src);
+            Global *g = mod->getGlobal("data");
+            for (size_t i = 0; i < g->elemCount(); ++i)
+                g->setElem(i, (i * 2654435761u) & 0xffff);
 
-        ExpanderOptions opts;
-        opts.unrollFactor = factor;
-        opts.maxLoopSize = 400;
-        opts.maxFunctionSize = 8000;
-        expandModule(*mod, opts);
+            ExpanderOptions opts;
+            opts.unrollFactor = factor;
+            opts.maxLoopSize = 400;
+            opts.maxFunctionSize = 8000;
+            expandModule(*mod, opts);
 
-        Interpreter in(*mod);
-        in.run("main");
+            Interpreter in(*mod);
+            in.run("main");
 
-        CompiledProgram cp = compileModule(*mod, TargetISA::Baseline);
-        Core core(cp.program, *mod);
-        core.run();
+            CompiledProgram cp =
+                compileModule(*mod, TargetISA::Baseline);
+            Core core(cp.program, *mod);
+            core.run();
 
-        std::printf("%-8u %12llu %12llu\n", factor,
-                    static_cast<unsigned long long>(in.stats().steps),
-                    static_cast<unsigned long long>(
-                        core.counters().instructions));
+            return strFormat(
+                "%-8u %12llu %12llu\n", factor,
+                static_cast<unsigned long long>(in.stats().steps),
+                static_cast<unsigned long long>(
+                    core.counters().instructions));
+        }));
     }
+    for (auto &row : rows)
+        std::fputs(row.get().c_str(), stdout);
     return 0;
 }

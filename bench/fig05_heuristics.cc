@@ -4,9 +4,12 @@
  * classifies as 8/16/32 bits under T = MAX, AVG, MIN.
  */
 
+#include <future>
+
 #include "../bench/common.h"
 #include "frontend/irgen.h"
 #include "profile/bitwidth_profile.h"
+#include "support/threadpool.h"
 
 using namespace bitspec;
 
@@ -18,24 +21,34 @@ main()
         "Share of dynamic assignments classified 8/16/32+ bits when "
         "T = MAX / AVG / MIN.");
 
+    // One profiling run per workload, fanned out across the pool;
+    // rows print in suite order.
+    ThreadPool pool;
+    std::vector<std::future<std::string>> rows;
     for (const Workload &w : mibenchSuite()) {
-        auto mod = compileSource(w.source);
-        w.setInput(*mod, 0);
-        BitwidthProfile p;
-        p.profileRun(*mod);
+        rows.push_back(pool.submit([&w]() -> std::string {
+            auto mod = compileSource(w.source);
+            w.setInput(*mod, 0);
+            BitwidthProfile p;
+            p.profileRun(*mod);
 
-        std::printf("%-16s", w.name.c_str());
-        for (Heuristic h :
-             {Heuristic::Max, Heuristic::Avg, Heuristic::Min}) {
-            auto hist = p.classHistogram(h);
-            double total = static_cast<double>(hist[0] + hist[1] +
-                                               hist[2] + hist[3]);
-            std::printf("  %s[8b:%5.1f%% 16b:%5.1f%% 32b:%5.1f%%]",
-                        heuristicName(h), 100.0 * hist[0] / total,
-                        100.0 * hist[1] / total,
-                        100.0 * (hist[2] + hist[3]) / total);
-        }
-        std::printf("\n");
+            std::string line = strFormat("%-16s", w.name.c_str());
+            for (Heuristic h :
+                 {Heuristic::Max, Heuristic::Avg, Heuristic::Min}) {
+                auto hist = p.classHistogram(h);
+                double total = static_cast<double>(hist[0] + hist[1] +
+                                                   hist[2] + hist[3]);
+                line += strFormat(
+                    "  %s[8b:%5.1f%% 16b:%5.1f%% 32b:%5.1f%%]",
+                    heuristicName(h), 100.0 * hist[0] / total,
+                    100.0 * hist[1] / total,
+                    100.0 * (hist[2] + hist[3]) / total);
+            }
+            line += "\n";
+            return line;
+        }));
     }
+    for (auto &row : rows)
+        std::fputs(row.get().c_str(), stdout);
     return 0;
 }

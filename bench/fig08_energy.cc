@@ -17,12 +17,20 @@ main()
                 "All metrics are BITSPEC relative to BASELINE "
                 "(lower is better).");
 
+    std::vector<ExperimentCell> cells;
+    for (const Workload &w : mibenchSuite()) {
+        cells.push_back(cell(w, SystemConfig::baseline()));
+        cells.push_back(cell(w, SystemConfig::bitspec()));
+    }
+    std::vector<RunResult> res = runMatrix(cells);
+
     std::vector<double> e_ratios, i_ratios, epi_ratios;
     std::printf("%-16s %10s %10s %10s %10s\n", "benchmark", "energy",
                 "dyninst", "EPI", "misspecs");
+    size_t k = 0;
     for (const Workload &w : mibenchSuite()) {
-        RunResult base = evaluate(w, SystemConfig::baseline());
-        RunResult spec = evaluate(w, SystemConfig::bitspec());
+        const RunResult &base = res[k++];
+        const RunResult &spec = res[k++];
 
         double e = spec.totalEnergy / base.totalEnergy;
         double i = static_cast<double>(spec.counters.instructions) /

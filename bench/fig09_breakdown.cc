@@ -16,11 +16,19 @@ main()
                 "Each column: BITSPEC component energy / BASELINE "
                 "component energy.");
 
+    std::vector<ExperimentCell> cells;
+    for (const Workload &w : mibenchSuite()) {
+        cells.push_back(cell(w, SystemConfig::baseline()));
+        cells.push_back(cell(w, SystemConfig::bitspec()));
+    }
+    std::vector<RunResult> res = runMatrix(cells);
+
     std::printf("%-16s %8s %8s %8s %8s %8s | %s\n", "benchmark", "ALU",
                 "RF", "D$", "I$", "pipe", "baseline shares");
+    size_t k = 0;
     for (const Workload &w : mibenchSuite()) {
-        RunResult b = evaluate(w, SystemConfig::baseline());
-        RunResult s = evaluate(w, SystemConfig::bitspec());
+        const RunResult &b = res[k++];
+        const RunResult &s = res[k++];
         double bt = b.energy.total();
         std::printf(
             "%-16s %8.3f %8.3f %8.3f %8.3f %8.3f | "

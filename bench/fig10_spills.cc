@@ -16,11 +16,19 @@ main()
                 "Dynamic spill loads / spill stores / copies, each "
                 "normalised to the BASELINE total.");
 
+    std::vector<ExperimentCell> cells;
+    for (const Workload &w : mibenchSuite()) {
+        cells.push_back(cell(w, SystemConfig::baseline()));
+        cells.push_back(cell(w, SystemConfig::bitspec()));
+    }
+    std::vector<RunResult> res = runMatrix(cells);
+
     std::printf("%-16s %10s %10s %10s %12s\n", "benchmark", "loads",
                 "stores", "copies", "(base total)");
+    size_t k = 0;
     for (const Workload &w : mibenchSuite()) {
-        RunResult b = evaluate(w, SystemConfig::baseline());
-        RunResult s = evaluate(w, SystemConfig::bitspec());
+        const RunResult &b = res[k++];
+        const RunResult &s = res[k++];
         double base_total = static_cast<double>(
             b.counters.dynSpillLoads + b.counters.dynSpillStores +
             b.counters.dynCopies);

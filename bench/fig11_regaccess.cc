@@ -16,11 +16,19 @@ main()
                 "BITSPEC register accesses (32-bit and 8-bit slice) "
                 "normalised to BASELINE accesses.");
 
+    std::vector<ExperimentCell> cells;
+    for (const Workload &w : mibenchSuite()) {
+        cells.push_back(cell(w, SystemConfig::baseline()));
+        cells.push_back(cell(w, SystemConfig::bitspec()));
+    }
+    std::vector<RunResult> res = runMatrix(cells);
+
     std::printf("%-16s %10s %10s %10s\n", "benchmark", "32-bit",
                 "8-bit", "total");
+    size_t k = 0;
     for (const Workload &w : mibenchSuite()) {
-        RunResult b = evaluate(w, SystemConfig::baseline());
-        RunResult s = evaluate(w, SystemConfig::bitspec());
+        const RunResult &b = res[k++];
+        const RunResult &s = res[k++];
         double base = static_cast<double>(
             b.counters.rfRead32 + b.counters.rfWrite32);
         double s32 = (s.counters.rfRead32 + s.counters.rfWrite32) /

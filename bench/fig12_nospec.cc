@@ -18,13 +18,22 @@ main()
                 "Energy relative to BASELINE: exact (no-speculation) "
                 "narrowing vs speculative BITSPEC.");
 
+    std::vector<ExperimentCell> cells;
+    for (const Workload &w : mibenchSuite()) {
+        cells.push_back(cell(w, SystemConfig::baseline()));
+        cells.push_back(cell(w, SystemConfig::noSpeculation()));
+        cells.push_back(cell(w, SystemConfig::bitspec()));
+    }
+    std::vector<RunResult> res = runMatrix(cells);
+
     std::vector<double> nospec_r, spec_r;
     std::printf("%-16s %12s %12s\n", "benchmark", "no-spec",
                 "bitspec");
+    size_t k = 0;
     for (const Workload &w : mibenchSuite()) {
-        RunResult base = evaluate(w, SystemConfig::baseline());
-        RunResult ns = evaluate(w, SystemConfig::noSpeculation());
-        RunResult sp = evaluate(w, SystemConfig::bitspec());
+        const RunResult &base = res[k++];
+        const RunResult &ns = res[k++];
+        const RunResult &sp = res[k++];
         double rn = ns.totalEnergy / base.totalEnergy;
         double rs = sp.totalEnergy / base.totalEnergy;
         nospec_r.push_back(rn);

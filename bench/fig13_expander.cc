@@ -16,21 +16,29 @@ main()
     printHeader("Figure 13: expander ablation (RQ4)",
                 "Energy/EPI relative to BASELINE-with-expander.");
 
+    SystemConfig base_noexp = SystemConfig::baseline();
+    base_noexp.expander.enabled = false;
+    SystemConfig sp_noexp = SystemConfig::bitspec();
+    sp_noexp.expander.enabled = false;
+
+    std::vector<ExperimentCell> cells;
+    for (const Workload &w : mibenchSuite()) {
+        cells.push_back(cell(w, SystemConfig::baseline()));
+        cells.push_back(cell(w, base_noexp));
+        cells.push_back(cell(w, SystemConfig::bitspec()));
+        cells.push_back(cell(w, sp_noexp));
+    }
+    std::vector<RunResult> res = runMatrix(cells);
+
     std::vector<double> epi_on, epi_off;
     std::printf("%-16s %14s %14s %14s\n", "benchmark",
                 "base(-exp)", "bitspec", "bitspec(-exp)");
+    size_t k = 0;
     for (const Workload &w : mibenchSuite()) {
-        RunResult base = evaluate(w, SystemConfig::baseline());
-
-        SystemConfig base_noexp = SystemConfig::baseline();
-        base_noexp.expander.enabled = false;
-        RunResult bn = evaluate(w, base_noexp);
-
-        RunResult sp = evaluate(w, SystemConfig::bitspec());
-
-        SystemConfig sp_noexp = SystemConfig::bitspec();
-        sp_noexp.expander.enabled = false;
-        RunResult sn = evaluate(w, sp_noexp);
+        const RunResult &base = res[k++];
+        const RunResult &bn = res[k++];
+        const RunResult &sp = res[k++];
+        const RunResult &sn = res[k++];
 
         epi_on.push_back(sp.epi / base.epi);
         epi_off.push_back(sn.epi / bn.epi);

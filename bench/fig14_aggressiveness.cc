@@ -17,19 +17,26 @@ main()
                 "Energy relative to BASELINE and misspeculation "
                 "counts for MAX / AVG / MIN.");
 
+    std::vector<ExperimentCell> cells;
+    for (const Workload &w : mibenchSuite()) {
+        cells.push_back(cell(w, SystemConfig::baseline()));
+        for (Heuristic h :
+             {Heuristic::Max, Heuristic::Avg, Heuristic::Min})
+            cells.push_back(cell(w, SystemConfig::bitspec(h)));
+    }
+    std::vector<RunResult> res = runMatrix(cells);
+
     std::printf("%-16s | %8s %8s %8s | %8s %8s %8s\n", "benchmark",
                 "MAX", "AVG", "MIN", "mis-MAX", "mis-AVG", "mis-MIN");
+    size_t i = 0;
     for (const Workload &w : mibenchSuite()) {
-        RunResult base = evaluate(w, SystemConfig::baseline());
+        const RunResult &base = res[i++];
         double rel[3];
         unsigned long long mis[3];
-        int k = 0;
-        for (Heuristic h :
-             {Heuristic::Max, Heuristic::Avg, Heuristic::Min}) {
-            RunResult r = evaluate(w, SystemConfig::bitspec(h));
+        for (int k = 0; k < 3; ++k) {
+            const RunResult &r = res[i++];
             rel[k] = r.totalEnergy / base.totalEnergy;
             mis[k] = r.counters.misspeculations;
-            ++k;
         }
         std::printf("%-16s | %8.3f %8.3f %8.3f | %8llu %8llu %8llu\n",
                     w.name.c_str(), rel[0], rel[1], rel[2], mis[0],

@@ -17,13 +17,22 @@ main()
                 "Energy relative to BASELINE when profiling on the "
                 "provided input (self) vs an alternate input (alt).");
 
+    std::vector<ExperimentCell> cells;
+    for (const Workload &w : mibenchSuite()) {
+        cells.push_back(cell(w, SystemConfig::baseline()));
+        cells.push_back(cell(w, SystemConfig::bitspec(), 0, 0));
+        cells.push_back(cell(w, SystemConfig::bitspec(), 3, 0));
+    }
+    std::vector<RunResult> res = runMatrix(cells);
+
     std::vector<double> selfs, alts;
     std::printf("%-16s %10s %10s %10s\n", "benchmark", "self", "alt",
                 "alt/self");
+    size_t k = 0;
     for (const Workload &w : mibenchSuite()) {
-        RunResult base = evaluate(w, SystemConfig::baseline());
-        RunResult self = evaluate(w, SystemConfig::bitspec(), 0, 0);
-        RunResult alt = evaluate(w, SystemConfig::bitspec(), 3, 0);
+        const RunResult &base = res[k++];
+        const RunResult &self = res[k++];
+        const RunResult &alt = res[k++];
         double rs = self.totalEnergy / base.totalEnergy;
         double ra = alt.totalEnergy / base.totalEnergy;
         selfs.push_back(rs);

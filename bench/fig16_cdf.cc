@@ -5,19 +5,42 @@
  * report dynamic instructions relative to the self-profiled binary,
  * as a cumulative distribution per heuristic. Paper: MAX is robust,
  * AVG and MIN are input-sensitive.
+ *
+ * The grid is one experiment matrix per heuristic: the runner's
+ * System cache compiles each profile image once and reuses it for all
+ * run images (kImages builds serving kImages^2 cells). Grid size
+ * defaults to 6 (paper: 50); set BITSPEC_FIG16_IMAGES to widen.
  */
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "../bench/common.h"
 
 using namespace bitspec;
 using namespace bitspec::bench;
 
+namespace
+{
+
+unsigned
+gridSize()
+{
+    if (const char *env = std::getenv("BITSPEC_FIG16_IMAGES")) {
+        char *end = nullptr;
+        unsigned long n = std::strtoul(env, &end, 10);
+        if (end && *end == '\0' && n >= 2 && n <= 50)
+            return static_cast<unsigned>(n);
+    }
+    return 6; // Paper uses 50; scaled down by default.
+}
+
+} // namespace
+
 int
 main()
 {
-    constexpr unsigned kImages = 6; // Paper uses 50; scaled down.
+    const unsigned kImages = gridSize();
     printHeader("Figure 16: susan-edges profile/run image "
                 "cross-product CDF",
                 strFormat("%ux%u image pairs; value = dyn. "
@@ -29,23 +52,29 @@ main()
 
     for (Heuristic h :
          {Heuristic::Max, Heuristic::Avg, Heuristic::Min}) {
-        // Self-profiled reference instruction counts per run image.
-        std::vector<double> self_insts(kImages);
-        std::vector<System> systems;
-        systems.reserve(kImages);
+        const SystemConfig cfg = SystemConfig::bitspec(h);
+
+        // Self-profiled reference cells (profile j, run j), then the
+        // full profile x run cross product; one matrix, cached
+        // Systems shared between both halves.
+        std::vector<ExperimentCell> cells;
+        for (unsigned j = 0; j < kImages; ++j)
+            cells.push_back(cell(w, cfg, 100 + j, 100 + j));
         for (unsigned i = 0; i < kImages; ++i)
-            systems.push_back(makeSystem(w, SystemConfig::bitspec(h),
-                                         /*profile_seed=*/100 + i));
-        for (unsigned j = 0; j < kImages; ++j) {
-            RunResult r = runSeed(systems[j], w, 100 + j);
+            for (unsigned j = 0; j < kImages; ++j)
+                cells.push_back(cell(w, cfg, 100 + i, 100 + j));
+        std::vector<RunResult> res = runMatrix(cells);
+
+        std::vector<double> self_insts(kImages);
+        for (unsigned j = 0; j < kImages; ++j)
             self_insts[j] =
-                static_cast<double>(r.counters.instructions);
-        }
+                static_cast<double>(res[j].counters.instructions);
 
         std::vector<double> ratios;
+        size_t k = kImages;
         for (unsigned i = 0; i < kImages; ++i) {
             for (unsigned j = 0; j < kImages; ++j) {
-                RunResult r = runSeed(systems[i], w, 100 + j);
+                const RunResult &r = res[k++];
                 ratios.push_back(
                     static_cast<double>(r.counters.instructions) /
                     self_insts[j]);

@@ -19,19 +19,30 @@ main()
                 "Energy relative to BASELINE. product = dts * "
                 "bitspec (the paper's composition observation).");
 
+    SystemConfig oracle = SystemConfig::dtsPlusBitspec();
+    oracle.dtsParams.widthAware = true;
+
+    std::vector<ExperimentCell> cells;
+    for (const Workload &w : mibenchSuite()) {
+        cells.push_back(cell(w, SystemConfig::baseline()));
+        cells.push_back(cell(w, SystemConfig::bitspec()));
+        cells.push_back(cell(w, SystemConfig::dtsOnly()));
+        cells.push_back(cell(w, SystemConfig::dtsPlusBitspec()));
+        cells.push_back(cell(w, oracle));
+    }
+    std::vector<RunResult> res = runMatrix(cells);
+
     std::vector<double> d_r, db_r, prod_r, oracle_r;
     std::printf("%-16s %8s %8s %10s %10s %12s\n", "benchmark",
                 "bitspec", "dts", "dts+bspec", "product",
                 "width-aware");
+    size_t k = 0;
     for (const Workload &w : mibenchSuite()) {
-        RunResult base = evaluate(w, SystemConfig::baseline());
-        RunResult sp = evaluate(w, SystemConfig::bitspec());
-        RunResult dts = evaluate(w, SystemConfig::dtsOnly());
-        RunResult both = evaluate(w, SystemConfig::dtsPlusBitspec());
-
-        SystemConfig oracle = SystemConfig::dtsPlusBitspec();
-        oracle.dtsParams.widthAware = true;
-        RunResult ow = evaluate(w, oracle);
+        const RunResult &base = res[k++];
+        const RunResult &sp = res[k++];
+        const RunResult &dts = res[k++];
+        const RunResult &both = res[k++];
+        const RunResult &ow = res[k++];
 
         double rs = sp.totalEnergy / base.totalEnergy;
         double rd = dts.totalEnergy / base.totalEnergy;

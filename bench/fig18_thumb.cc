@@ -16,13 +16,22 @@ main()
     printHeader("Figure 18: Thumb-like compact ISA (RQ9)",
                 "Dynamic instructions relative to BASELINE.");
 
+    SystemConfig tc = SystemConfig::baseline();
+    tc.isa = TargetISA::Thumb;
+
+    std::vector<ExperimentCell> cells;
+    for (const Workload &w : mibenchSuite()) {
+        cells.push_back(cell(w, SystemConfig::baseline()));
+        cells.push_back(cell(w, tc));
+    }
+    std::vector<RunResult> res = runMatrix(cells);
+
     std::vector<double> ratios;
     std::printf("%-16s %12s\n", "benchmark", "thumb/base");
+    size_t k = 0;
     for (const Workload &w : mibenchSuite()) {
-        RunResult base = evaluate(w, SystemConfig::baseline());
-        SystemConfig tc = SystemConfig::baseline();
-        tc.isa = TargetISA::Thumb;
-        RunResult th = evaluate(w, tc);
+        const RunResult &base = res[k++];
+        const RunResult &th = res[k++];
         double r = static_cast<double>(th.counters.instructions) /
                    static_cast<double>(base.counters.instructions);
         ratios.push_back(r);

@@ -18,20 +18,28 @@ main()
                 "Energy and dynamic instructions relative to "
                 "BASELINE, with one optimisation removed at a time.");
 
+    SystemConfig no_ce = SystemConfig::bitspec();
+    no_ce.squeezeOpts.compareElimination = false;
+    SystemConfig no_be = SystemConfig::bitspec();
+    no_be.squeezeOpts.bitmaskElision = false;
+
+    std::vector<ExperimentCell> cells;
+    for (const Workload &w : mibenchSuite()) {
+        cells.push_back(cell(w, SystemConfig::baseline()));
+        cells.push_back(cell(w, SystemConfig::bitspec()));
+        cells.push_back(cell(w, no_ce));
+        cells.push_back(cell(w, no_be));
+    }
+    std::vector<RunResult> res = runMatrix(cells);
+
     std::printf("%-16s %10s | %12s %10s | %12s %10s\n", "benchmark",
                 "full", "-cmp-elim", "dyninst", "-bitmask", "dyninst");
+    size_t k = 0;
     for (const Workload &w : mibenchSuite()) {
-        RunResult base = evaluate(w, SystemConfig::baseline());
-
-        RunResult full = evaluate(w, SystemConfig::bitspec());
-
-        SystemConfig no_ce = SystemConfig::bitspec();
-        no_ce.squeezeOpts.compareElimination = false;
-        RunResult nce = evaluate(w, no_ce);
-
-        SystemConfig no_be = SystemConfig::bitspec();
-        no_be.squeezeOpts.bitmaskElision = false;
-        RunResult nbe = evaluate(w, no_be);
+        const RunResult &base = res[k++];
+        const RunResult &full = res[k++];
+        const RunResult &nce = res[k++];
+        const RunResult &nbe = res[k++];
 
         auto rel = [&](const RunResult &r) {
             return r.totalEnergy / base.totalEnergy;

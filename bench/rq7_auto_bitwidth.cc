@@ -43,15 +43,33 @@ main()
                 "Widen every integer declaration to u32; can BitSpec "
                 "recover the narrow-typed program's energy?");
 
-    for (const char *name : {"dijkstra", "stringsearch"}) {
-        const Workload &w = getWorkload(name);
-        Workload wide = w;
-        wide.source = widenTypes(w.source);
+    const std::vector<const char *> names = {"dijkstra",
+                                             "stringsearch"};
+    // Widened workload copies must outlive the matrix run: cells
+    // hold Workload pointers.
+    std::vector<Workload> wides;
+    for (const char *name : names) {
+        Workload wide = getWorkload(name);
+        wide.source = widenTypes(wide.source);
+        wides.push_back(std::move(wide));
+    }
 
-        RunResult base_orig = evaluate(w, SystemConfig::baseline());
-        RunResult base_wide = evaluate(wide, SystemConfig::baseline());
-        RunResult spec_orig = evaluate(w, SystemConfig::bitspec());
-        RunResult spec_wide = evaluate(wide, SystemConfig::bitspec());
+    std::vector<ExperimentCell> cells;
+    for (size_t i = 0; i < names.size(); ++i) {
+        const Workload &w = getWorkload(names[i]);
+        cells.push_back(cell(w, SystemConfig::baseline()));
+        cells.push_back(cell(wides[i], SystemConfig::baseline()));
+        cells.push_back(cell(w, SystemConfig::bitspec()));
+        cells.push_back(cell(wides[i], SystemConfig::bitspec()));
+    }
+    std::vector<RunResult> res = runMatrix(cells);
+
+    size_t k = 0;
+    for (const char *name : names) {
+        const RunResult &base_orig = res[k++];
+        const RunResult &base_wide = res[k++];
+        const RunResult &spec_orig = res[k++];
+        const RunResult &spec_wide = res[k++];
 
         double b = base_orig.totalEnergy;
         std::printf("%-16s baseline(orig)=1.000  baseline(wide)=%.3f\n"

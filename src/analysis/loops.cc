@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <unordered_map>
 
 #include "analysis/cfg.h"
 
@@ -57,10 +58,24 @@ findLoops(Function &f, const DomTree &dt)
     std::vector<Loop> loops;
     for (auto &[header, loop] : by_header)
         loops.push_back(std::move(loop));
-    // Inner loops (fewer blocks) first so unrolling processes them first.
-    std::sort(loops.begin(), loops.end(), [](const Loop &a, const Loop &b) {
-        return a.blocks.size() < b.blocks.size();
-    });
+    // Order must not depend on heap addresses (by_header iterates in
+    // pointer order): under the expander's function-size budget the
+    // unroll order decides *which* loops fit, so address-ordered
+    // results make codegen vary run to run. Sort by the header's
+    // position in the function, then stable-sort inner loops (fewer
+    // blocks) first so unrolling processes them first.
+    std::unordered_map<const BasicBlock *, unsigned> pos;
+    unsigned next = 0;
+    for (const auto &bb : f.blocks())
+        pos[bb.get()] = next++;
+    std::sort(loops.begin(), loops.end(),
+              [&](const Loop &a, const Loop &b) {
+                  return pos.at(a.header) < pos.at(b.header);
+              });
+    std::stable_sort(loops.begin(), loops.end(),
+                     [](const Loop &a, const Loop &b) {
+                         return a.blocks.size() < b.blocks.size();
+                     });
     return loops;
 }
 

@@ -1,0 +1,209 @@
+#include "core/experiment.h"
+
+#include <exception>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace bitspec
+{
+
+namespace
+{
+
+uint64_t
+fnv1a(const std::string &s)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+void
+appendField(std::string &key, const char *name, double v)
+{
+    key += strFormat(";%s=%.17g", name, v);
+}
+
+void
+appendField(std::string &key, const char *name, uint64_t v)
+{
+    key += strFormat(";%s=%llu", name,
+                     static_cast<unsigned long long>(v));
+}
+
+void
+appendField(std::string &key, const char *name, bool v)
+{
+    key += strFormat(";%s=%d", name, v ? 1 : 0);
+}
+
+} // namespace
+
+std::string
+ExperimentRunner::systemKey(const Workload &w, const SystemConfig &c,
+                            uint64_t profile_seed)
+{
+    std::string key = w.name;
+    appendField(key, "src", fnv1a(w.source));
+    appendField(key, "isa", static_cast<uint64_t>(c.isa));
+    appendField(key, "squeeze", c.squeeze);
+    appendField(key, "heuristic",
+                static_cast<uint64_t>(c.squeezeOpts.heuristic));
+    appendField(key, "speculate", c.squeezeOpts.speculate);
+    appendField(key, "cmpElim", c.squeezeOpts.compareElimination);
+    appendField(key, "bitmask", c.squeezeOpts.bitmaskElision);
+    appendField(key, "unroll",
+                static_cast<uint64_t>(c.expander.unrollFactor));
+    appendField(key, "maxFn",
+                static_cast<uint64_t>(c.expander.maxFunctionSize));
+    appendField(key, "maxLoop",
+                static_cast<uint64_t>(c.expander.maxLoopSize));
+    appendField(key, "expand", c.expander.enabled);
+    appendField(key, "dts", c.dts);
+    appendField(key, "vNom", c.dtsParams.vNominal);
+    appendField(key, "vTh", c.dtsParams.vThreshold);
+    appendField(key, "alpha", c.dtsParams.alpha);
+    appendField(key, "vMin", c.dtsParams.vMin);
+    appendField(key, "fLogic", c.dtsParams.fracLogic);
+    appendField(key, "fAddSub", c.dtsParams.fracAddSub);
+    appendField(key, "fMulDiv", c.dtsParams.fracMulDiv);
+    appendField(key, "fMem", c.dtsParams.fracMem);
+    appendField(key, "fBranch", c.dtsParams.fracBranch);
+    appendField(key, "widthAware", c.dtsParams.widthAware);
+    appendField(key, "fAddSub8", c.dtsParams.fracAddSub8);
+    appendField(key, "fLogic8", c.dtsParams.fracLogic8);
+    appendField(key, "errRate", c.dtsParams.errorRate);
+    appendField(key, "recE", c.dtsParams.recoveryEnergy);
+    appendField(key, "eAlu32", c.energy.alu32);
+    appendField(key, "eAlu8", c.energy.alu8);
+    appendField(key, "eMulDiv", c.energy.mulDiv);
+    appendField(key, "eRfR32", c.energy.rfRead32);
+    appendField(key, "eRfW32", c.energy.rfWrite32);
+    appendField(key, "eRfR8", c.energy.rfRead8);
+    appendField(key, "eRfW8", c.energy.rfWrite8);
+    appendField(key, "eIc", c.energy.icacheAccess);
+    appendField(key, "eDc", c.energy.dcacheAccess);
+    appendField(key, "eL2", c.energy.l2Access);
+    appendField(key, "eDram", c.energy.dramAccess);
+    appendField(key, "ePipe", c.energy.pipelinePerCycle);
+    appendField(key, "eMisspec", c.energy.misspecRecovery);
+    appendField(key, "pseed", profile_seed);
+    return key;
+}
+
+ExperimentRunner::ExperimentRunner(unsigned threads) : pool_(threads) {}
+
+ExperimentRunner::~ExperimentRunner() = default;
+
+std::shared_ptr<ExperimentRunner::CachedSystem>
+ExperimentRunner::getOrBuild(const Workload &w,
+                             const SystemConfig &config,
+                             uint64_t profile_seed)
+{
+    const std::string key = systemKey(w, config, profile_seed);
+
+    std::promise<std::shared_ptr<CachedSystem>> promise;
+    std::shared_future<std::shared_ptr<CachedSystem>> fut;
+    bool builder = false;
+    {
+        std::lock_guard<std::mutex> lock(cacheMu_);
+        auto it = cache_.find(key);
+        if (it == cache_.end()) {
+            fut = promise.get_future().share();
+            cache_.emplace(key, fut);
+            builder = true;
+            ++stats_.systemsBuilt;
+        } else {
+            fut = it->second;
+            ++stats_.cacheHits;
+        }
+    }
+
+    if (builder) {
+        try {
+            promise.set_value(std::make_shared<CachedSystem>(
+                w, config, profile_seed));
+        } catch (...) {
+            // Every cell sharing this key sees the build failure.
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return fut.get();
+}
+
+RunResult
+ExperimentRunner::runCell(const ExperimentCell &cell)
+{
+    bsAssert(cell.workload != nullptr, "experiment cell w/o workload");
+    std::shared_ptr<CachedSystem> cached =
+        getOrBuild(*cell.workload, cell.config, cell.profileSeed);
+    const Workload &w = *cell.workload;
+    uint64_t run_seed = cell.runSeed;
+    std::lock_guard<std::mutex> lock(cached->runMu);
+    return cached->sys.run(
+        [&w, run_seed](Module &m) { w.setInput(m, run_seed); });
+}
+
+std::vector<RunResult>
+ExperimentRunner::run(const std::vector<ExperimentCell> &cells)
+{
+    std::vector<RunResult> results(cells.size());
+    std::vector<std::future<void>> futs;
+    futs.reserve(cells.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+        futs.push_back(pool_.submit([this, &cells, &results, i] {
+            results[i] = runCell(cells[i]);
+        }));
+    }
+
+    // Drain every future before unwinding: tasks reference the local
+    // results vector, so no early rethrow. Report the first failure
+    // (submission order), matching what the serial loop would throw.
+    std::exception_ptr first;
+    for (auto &f : futs) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(cacheMu_);
+        stats_.cells += cells.size();
+    }
+    if (first)
+        std::rethrow_exception(first);
+    return results;
+}
+
+RunResult
+ExperimentRunner::evaluate(const Workload &w, const SystemConfig &config,
+                           uint64_t profile_seed, uint64_t run_seed)
+{
+    ExperimentCell cell{&w, config, profile_seed, run_seed};
+    RunResult out = runCell(cell);
+    std::lock_guard<std::mutex> lock(cacheMu_);
+    ++stats_.cells;
+    return out;
+}
+
+ExperimentStats
+ExperimentRunner::stats() const
+{
+    std::lock_guard<std::mutex> lock(cacheMu_);
+    return stats_;
+}
+
+void
+ExperimentRunner::clearCache()
+{
+    std::lock_guard<std::mutex> lock(cacheMu_);
+    cache_.clear();
+}
+
+} // namespace bitspec

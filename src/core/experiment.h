@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The experiment engine: schedules (workload x SystemConfig x
+ * profile_seed x run_seed) cells of a figure/table bench across a
+ * thread pool and memoizes compiled Systems.
+ *
+ * Design rules (see DESIGN.md "Experiment engine"):
+ *  - Cells are self-contained: each System owns its Module,
+ *    training Interpreter and pass pipeline; Cores are constructed
+ *    per run. No shared mutable statics anywhere in the pipeline.
+ *  - A System is compile-once/run-many. The cache keys a compiled
+ *    System by (workload name, FNV-1a of the source, canonicalized
+ *    config, profile seed); all run seeds and all series of a binary
+ *    that share that key reuse one instance, serialized by a per-entry
+ *    run lock (System::run restores the global-data snapshot first,
+ *    so runs are order-independent).
+ *  - Results come back in submission order and are bit-identical to
+ *    the serial path regardless of thread count.
+ *  - Worker exceptions (fatal()/bsAssert/...) propagate to the caller
+ *    of run(); they never abort the process.
+ */
+
+#ifndef BITSPEC_CORE_EXPERIMENT_H_
+#define BITSPEC_CORE_EXPERIMENT_H_
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/system.h"
+#include "support/threadpool.h"
+#include "workloads/workload.h"
+
+namespace bitspec
+{
+
+/** One cell of an experiment matrix. */
+struct ExperimentCell
+{
+    /** Must outlive the ExperimentRunner::run() call. The workload's
+     *  setInput must be a pure function of (module, seed). */
+    const Workload *workload = nullptr;
+    SystemConfig config;
+    uint64_t profileSeed = 0;
+    uint64_t runSeed = 0;
+};
+
+/** Cache / scheduling counters (bench_smoke records these). */
+struct ExperimentStats
+{
+    uint64_t cells = 0;        ///< Cells executed.
+    uint64_t systemsBuilt = 0; ///< Cache misses (compiles).
+    uint64_t cacheHits = 0;    ///< Cells served by a cached System.
+};
+
+/**
+ * Runs experiment matrices over a worker pool with a keyed System
+ * cache. Safe to call from one thread at a time; the same runner can
+ * execute any number of matrices, and the cache persists across them
+ * (clearCache() drops it).
+ */
+class ExperimentRunner
+{
+  public:
+    /** @param threads Worker count; 0 = BITSPEC_JOBS env override or
+     *  hardware concurrency (ThreadPool::defaultThreadCount). */
+    explicit ExperimentRunner(unsigned threads = 0);
+    ~ExperimentRunner();
+
+    /**
+     * Execute every cell, in parallel, returning results in
+     * submission order. Throws the first failing cell's exception
+     * (after all cells finished or failed).
+     */
+    std::vector<RunResult> run(const std::vector<ExperimentCell> &cells);
+
+    /** One-cell convenience; still goes through the System cache. */
+    RunResult evaluate(const Workload &w, const SystemConfig &config,
+                       uint64_t profile_seed = 0, uint64_t run_seed = 0);
+
+    unsigned threadCount() const { return pool_.threadCount(); }
+    ExperimentStats stats() const;
+    void clearCache();
+
+    /**
+     * Canonical cache key of a cell's compiled System: workload name,
+     * FNV-1a hash of the source text, every SystemConfig field (in
+     * declaration order, doubles at full precision) and the profile
+     * seed. Run seeds are deliberately absent.
+     */
+    static std::string systemKey(const Workload &w,
+                                 const SystemConfig &config,
+                                 uint64_t profile_seed);
+
+  private:
+    /** A cached System plus the lock serializing run() on it. */
+    struct CachedSystem
+    {
+        System sys;
+        std::mutex runMu;
+
+        CachedSystem(const Workload &w, const SystemConfig &config,
+                     uint64_t profile_seed)
+            : sys(w.source, config, [&w, profile_seed](Module &m) {
+                  w.setInput(m, profile_seed);
+              })
+        {}
+    };
+
+    std::shared_ptr<CachedSystem> getOrBuild(const Workload &w,
+                                             const SystemConfig &config,
+                                             uint64_t profile_seed);
+    RunResult runCell(const ExperimentCell &cell);
+
+    ThreadPool pool_;
+    mutable std::mutex cacheMu_;
+    /** Value is a shared_future so concurrent requesters of the same
+     *  key block on one build instead of compiling twice. */
+    std::unordered_map<std::string,
+                       std::shared_future<std::shared_ptr<CachedSystem>>>
+        cache_;
+    ExperimentStats stats_;
+};
+
+} // namespace bitspec
+
+#endif // BITSPEC_CORE_EXPERIMENT_H_

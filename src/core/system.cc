@@ -83,12 +83,18 @@ System::System(const std::string &source, const SystemConfig &config,
     }
 
     compiled_ = compileModule(*module_, config_.isa);
+
+    globalSnapshot_.reserve(module_->globals().size());
+    for (const auto &g : module_->globals())
+        globalSnapshot_.emplace_back(g.get(), g->data());
 }
 
 RunResult
 System::run(const std::function<void(Module &)> &run_input,
             const std::vector<uint32_t> &args)
 {
+    for (auto &[g, bytes] : globalSnapshot_)
+        g->setData(bytes);
     if (run_input)
         run_input(*module_);
 

@@ -85,8 +85,10 @@ class System
            const std::vector<uint64_t> &train_args = {});
 
     /**
-     * Run with fresh input: @p run_input mutates globals, then the
-     * core executes from _start.
+     * Run with fresh input: global data is first restored to its
+     * post-profiling snapshot (so runs are independent — required for
+     * the experiment engine's compile-once/run-many reuse), then
+     * @p run_input mutates globals and the core executes from _start.
      */
     RunResult run(const std::function<void(Module &)> &run_input = {},
                   const std::vector<uint32_t> &args = {});
@@ -109,6 +111,11 @@ class System
     SqueezeStats squeezeStats_;
     ExpandStats expandStats_;
     uint64_t trainIrSteps_ = 0;
+    /** Global byte images captured at the end of construction;
+     *  restored before every run so run N cannot leak state (e.g.
+     *  longer previous inputs) into run N+1. */
+    std::vector<std::pair<Global *, std::vector<uint8_t>>>
+        globalSnapshot_;
 };
 
 } // namespace bitspec

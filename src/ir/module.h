@@ -48,6 +48,15 @@ class Global
     uint32_t address() const { return address_; }
     void setAddress(uint32_t a) { address_ = a; }
 
+    /** Replace the whole byte image (size must match). */
+    void
+    setData(const std::vector<uint8_t> &bytes)
+    {
+        bsAssert(bytes.size() == data_.size(),
+                 "global image size mismatch: " + name_);
+        data_ = bytes;
+    }
+
     /** Overwrite element @p index with @p value (little endian). */
     void
     setElem(size_t index, uint64_t value)

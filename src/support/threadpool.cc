@@ -1,0 +1,61 @@
+#include "support/threadpool.h"
+
+#include <cstdlib>
+
+namespace bitspec
+{
+
+unsigned
+ThreadPool::defaultThreadCount()
+{
+    if (const char *env = std::getenv("BITSPEC_JOBS")) {
+        char *end = nullptr;
+        unsigned long n = std::strtoul(env, &end, 10);
+        if (end && *end == '\0' && n >= 1 && n <= 1024)
+            return static_cast<unsigned>(n);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultThreadCount();
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ and nothing left to drain.
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        // packaged_task catches anything the callable throws and
+        // parks it in the corresponding future; nothing escapes here.
+        task();
+    }
+}
+
+} // namespace bitspec

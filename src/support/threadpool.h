@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fixed-size worker pool with a FIFO task queue and future-based
+ * results. Built for the experiment engine: workers never abort the
+ * process — a task that throws (fatal(), bsAssert, anything derived
+ * from std::exception) stores the exception in its future, and the
+ * submitter sees it rethrown from future::get().
+ */
+
+#ifndef BITSPEC_SUPPORT_THREADPOOL_H_
+#define BITSPEC_SUPPORT_THREADPOOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace bitspec
+{
+
+/** A fixed-size pool of worker threads draining one task queue. */
+class ThreadPool
+{
+  public:
+    /** @param threads Worker count; 0 means defaultThreadCount(). */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains the queue, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Worker count used when none is given: the BITSPEC_JOBS
+     * environment variable when set to a positive integer, otherwise
+     * std::thread::hardware_concurrency(); at least 1 either way.
+     */
+    static unsigned defaultThreadCount();
+
+    /**
+     * Enqueue @p f for execution; returns a future for its result.
+     * Exceptions thrown by @p f propagate through future::get().
+     */
+    template <typename F>
+    auto
+    submit(F &&f) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(f));
+        std::future<R> fut = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            queue_.emplace_back([task] { (*task)(); });
+        }
+        cv_.notify_one();
+        return fut;
+    }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+} // namespace bitspec
+
+#endif // BITSPEC_SUPPORT_THREADPOOL_H_

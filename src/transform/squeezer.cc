@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <unordered_map>
 
 #include "analysis/cfg.h"
 #include "analysis/demanded_bits.h"
@@ -683,11 +684,34 @@ class SqueezerImpl
 
         // Handlers: extend live values and branch to Orig(B). Group
         // the re-entry phis by original value for one SSA repair each.
-        std::map<Value *, std::vector<AltDef>> repairs;
+        //
+        // Liveness sets are pointer-ordered, so they are iterated via
+        // a positional rank (argument index, then block/instruction
+        // order): emission order — and with it the final code — must
+        // not depend on heap addresses, or parallel experiment cells
+        // would compile differently from serial ones.
+        std::unordered_map<const Value *, unsigned> rank;
+        {
+            unsigned next = 0;
+            for (size_t i = 0; i < f_.numArgs(); ++i)
+                rank[f_.arg(i)] = next++;
+            for (auto &bb : f_.blocks())
+                for (auto &inst : bb->insts())
+                    rank[inst.get()] = next++;
+        }
+
+        std::vector<std::pair<Value *, std::vector<AltDef>>> repairs;
+        std::unordered_map<Value *, size_t> repairIndex;
         for (const PendingRegion &pr : pending) {
             b.setInsertPoint(pr.handler);
+            std::vector<const Value *> live(lv.liveIn(pr.orig).begin(),
+                                            lv.liveIn(pr.orig).end());
+            std::sort(live.begin(), live.end(),
+                      [&](const Value *x, const Value *y) {
+                          return rank.at(x) < rank.at(y);
+                      });
             std::vector<std::pair<Value *, Value *>> extensions;
-            for (const Value *cv : lv.liveIn(pr.orig)) {
+            for (const Value *cv : live) {
                 auto *v_orig = const_cast<Value *>(cv);
                 if (!v_orig->type().isInt())
                     continue;
@@ -705,10 +729,18 @@ class SqueezerImpl
                 extensions.emplace_back(v_orig, v_ext);
             }
             b.br(pr.orig);
-            for (auto &[v_orig, v_ext] : extensions)
-                repairs[v_orig].push_back({pr.orig, pr.handler, v_ext});
+            for (auto &[v_orig, v_ext] : extensions) {
+                auto [it, inserted] = repairIndex.try_emplace(
+                    v_orig, repairs.size());
+                if (inserted)
+                    repairs.push_back({v_orig, {}});
+                repairs[it->second].second.push_back(
+                    {pr.orig, pr.handler, v_ext});
+            }
         }
 
+        // Insertion order (region order x ranked liveness order), not
+        // pointer order: repairSSA inserts phis as it goes.
         for (auto &[v_orig, alts] : repairs)
             repairSSA(f_, v_orig, alts);
 

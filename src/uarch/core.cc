@@ -44,20 +44,16 @@ Core::reset()
     classicMode_ = false;
     counters_ = ActivityCounters{};
     output_.clear();
+    outputHash_ = kFnvOffset;
     mem_ = MemoryHierarchy{};
 }
 
 uint64_t
 Core::outputChecksum() const
 {
-    uint64_t h = 0xcbf29ce484222325ULL;
-    for (uint64_t v : output_) {
-        for (unsigned b = 0; b < 8; ++b) {
-            h ^= (v >> (8 * b)) & 0xff;
-            h *= 0x100000001b3ULL;
-        }
-    }
-    return h;
+    // Maintained incrementally as OUT executes; experiment harnesses
+    // query it once per run without re-walking the output stream.
+    return outputHash_;
 }
 
 bool
@@ -120,7 +116,10 @@ Core::writeOpnd(const MOpnd &o, uint32_t value)
 uint32_t
 Core::loadData(uint32_t addr, unsigned bytes)
 {
-    if (addr + bytes > dataMem_.size())
+    // 64-bit sum: addr + bytes wraps in 32 bits near UINT32_MAX and
+    // would slip past the check (same bug class as the interpreter's
+    // old loadMem/storeMem).
+    if (static_cast<uint64_t>(addr) + bytes > dataMem_.size())
         fatal(strFormat("machine load out of bounds at 0x%x", addr));
     uint32_t v = 0;
     for (unsigned b = 0; b < bytes; ++b)
@@ -131,7 +130,7 @@ Core::loadData(uint32_t addr, unsigned bytes)
 void
 Core::storeData(uint32_t addr, uint32_t value, unsigned bytes)
 {
-    if (addr + bytes > dataMem_.size())
+    if (static_cast<uint64_t>(addr) + bytes > dataMem_.size())
         fatal(strFormat("machine store out of bounds at 0x%x", addr));
     for (unsigned b = 0; b < bytes; ++b)
         dataMem_[addr + b] = static_cast<uint8_t>(value >> (8 * b));
@@ -149,32 +148,46 @@ Core::run(const std::vector<uint32_t> &args)
     uint32_t idx = 0; // Flat instruction index (PC / 4 - base).
     uint64_t executed = 0;
 
+    // Fetch-path state hoisted out of the per-instruction loop: the
+    // instruction array (size/base pointer are loop-invariant) and a
+    // dense per-tag counter array replacing the provenance switch.
+    // Tag counts fold into counters_ at the clean-exit points only,
+    // like cycles; an out-of-fuel/out-of-range throw leaves the
+    // provenance counters unfinalized.
+    const MachInst *flat = prog_.flat.data();
+    const uint32_t flat_size =
+        static_cast<uint32_t>(prog_.flat.size());
+    uint64_t tag_counts[kNumInstTags] = {};
+    auto finish = [&](uint64_t final_cycle) {
+        counters_.cycles = final_cycle;
+        counters_.dynSpillLoads +=
+            tag_counts[static_cast<size_t>(InstTag::SpillLoad)];
+        counters_.dynSpillStores +=
+            tag_counts[static_cast<size_t>(InstTag::SpillStore)];
+        counters_.dynCopies +=
+            tag_counts[static_cast<size_t>(InstTag::Copy)];
+    };
+
     auto reg_ready = [&](const MOpnd &o) -> uint64_t {
-        if (o.isReg())
-            return readyAt_[o.reg];
-        if (o.isSlice())
+        if (o.isReg() || o.isSlice())
             return readyAt_[o.reg];
         return 0;
     };
 
     for (;;) {
-        if (idx >= prog_.flat.size())
+        if (idx >= flat_size)
             fatal(strFormat("PC out of code range: index %u", idx));
         if (++executed > fuel_)
             fatal("machine execution out of fuel (infinite loop?)");
 
-        const MachInst &inst = prog_.flat[idx];
-        uint32_t pc_addr = prog_.addrOf(idx);
+        const MachInst &inst = flat[idx];
+        uint32_t pc_addr =
+            MachProgram::kCodeBase + idx * kInstBytes;
 
         // Fetch.
         cycle += 1 + mem_.fetch(pc_addr);
         ++counters_.instructions;
-        switch (inst.tag) {
-          case InstTag::SpillLoad: ++counters_.dynSpillLoads; break;
-          case InstTag::SpillStore: ++counters_.dynSpillStores; break;
-          case InstTag::Copy: ++counters_.dynCopies; break;
-          default: break;
-        }
+        ++tag_counts[static_cast<size_t>(inst.tag)];
 
         // Operand readiness (in-order issue stall).
         uint64_t ready = std::max(
@@ -456,14 +469,19 @@ Core::run(const std::vector<uint32_t> &args)
             uint32_t lr = regs_[kRegLR];
             cycle += kBranchPenalty;
             if (lr == MachProgram::kHaltAddr) {
-                counters_.cycles = cycle;
+                finish(cycle);
                 return regs_[0];
             }
             next = prog_.indexOf(lr);
             break;
           }
           case MOp::OUT: {
-            output_.push_back(readOpnd(inst.a));
+            uint64_t v = readOpnd(inst.a);
+            output_.push_back(v);
+            for (unsigned b = 0; b < 8; ++b) {
+                outputHash_ ^= (v >> (8 * b)) & 0xff;
+                outputHash_ *= kFnvPrime;
+            }
             ++counters_.outputs;
             break;
           }
@@ -476,7 +494,7 @@ Core::run(const std::vector<uint32_t> &args)
           case MOp::NOP:
             break;
           case MOp::HALT:
-            counters_.cycles = cycle;
+            finish(cycle);
             return regs_[0];
         }
 

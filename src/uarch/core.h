@@ -33,6 +33,11 @@ class Core
   public:
     static constexpr size_t kMemBytes = 1 << 22;
     static constexpr uint64_t kDefaultFuel = 600'000'000;
+    static constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+    static constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+    /** One past the largest InstTag value (dense counter array). */
+    static constexpr size_t kNumInstTags =
+        static_cast<size_t>(InstTag::FrameSetup) + 1;
 
     /** @param program Linked program. @param m Module providing the
      *  global-data image (copied at reset). */
@@ -77,6 +82,8 @@ class Core
     MemoryHierarchy mem_;
     ActivityCounters counters_;
     std::vector<uint64_t> output_;
+    /** FNV-1a over output_, maintained incrementally by OUT. */
+    uint64_t outputHash_ = kFnvOffset;
     uint64_t fuel_ = kDefaultFuel;
 
     /** Scoreboard: cycle when each register's value is ready. */

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/experiment.h"
+#include "support/error.h"
+#include "workloads/workload.h"
+
+namespace bitspec
+{
+namespace
+{
+
+/** Field-by-field equality over everything the benches print. */
+void
+expectSameResult(const RunResult &a, const RunResult &b,
+                 const std::string &what)
+{
+    EXPECT_EQ(a.returnValue, b.returnValue) << what;
+    EXPECT_EQ(a.outputChecksum, b.outputChecksum) << what;
+    EXPECT_EQ(a.counters.instructions, b.counters.instructions) << what;
+    EXPECT_EQ(a.counters.cycles, b.counters.cycles) << what;
+    EXPECT_EQ(a.counters.loads, b.counters.loads) << what;
+    EXPECT_EQ(a.counters.stores, b.counters.stores) << what;
+    EXPECT_EQ(a.counters.misspeculations, b.counters.misspeculations)
+        << what;
+    EXPECT_EQ(a.counters.rfRead8, b.counters.rfRead8) << what;
+    EXPECT_EQ(a.counters.rfWrite8, b.counters.rfWrite8) << what;
+    EXPECT_EQ(a.totalEnergy, b.totalEnergy) << what;
+    EXPECT_EQ(a.epi, b.epi) << what;
+    EXPECT_EQ(a.meanVoltage, b.meanVoltage) << what;
+}
+
+/** Uncached serial reference: fresh System per cell. */
+RunResult
+serialReference(const ExperimentCell &c)
+{
+    const Workload &w = *c.workload;
+    uint64_t pseed = c.profileSeed;
+    System sys(w.source, c.config,
+               [&w, pseed](Module &m) { w.setInput(m, pseed); });
+    uint64_t rseed = c.runSeed;
+    return sys.run([&w, rseed](Module &m) { w.setInput(m, rseed); });
+}
+
+std::vector<ExperimentCell>
+smallMatrix()
+{
+    std::vector<ExperimentCell> cells;
+    for (const char *name : {"CRC32", "dijkstra"}) {
+        const Workload &w = getWorkload(name);
+        for (uint64_t run_seed : {0ull, 1ull}) {
+            cells.push_back(
+                {&w, SystemConfig::baseline(), 0, run_seed});
+            cells.push_back(
+                {&w, SystemConfig::bitspec(), 0, run_seed});
+        }
+    }
+    return cells;
+}
+
+TEST(ExperimentRunner, BitIdenticalToSerialAcrossThreadCounts)
+{
+    std::vector<ExperimentCell> cells = smallMatrix();
+
+    std::vector<RunResult> ref;
+    ref.reserve(cells.size());
+    for (const ExperimentCell &c : cells)
+        ref.push_back(serialReference(c));
+
+    for (unsigned threads : {1u, 4u}) {
+        ExperimentRunner runner(threads);
+        std::vector<RunResult> got = runner.run(cells);
+        ASSERT_EQ(got.size(), cells.size());
+        for (size_t i = 0; i < cells.size(); ++i)
+            expectSameResult(
+                ref[i], got[i],
+                "cell " + std::to_string(i) + " with " +
+                    std::to_string(threads) + " threads");
+    }
+}
+
+TEST(ExperimentRunner, CachesSystemAcrossRunSeeds)
+{
+    const Workload &w = getWorkload("CRC32");
+    std::vector<ExperimentCell> cells;
+    for (uint64_t run_seed = 0; run_seed < 5; ++run_seed)
+        cells.push_back({&w, SystemConfig::bitspec(), 0, run_seed});
+
+    ExperimentRunner runner(2);
+    runner.run(cells);
+    EXPECT_EQ(runner.stats().cells, 5u);
+    EXPECT_EQ(runner.stats().systemsBuilt, 1u);
+    EXPECT_EQ(runner.stats().cacheHits, 4u);
+
+    // A different profile seed is a different System.
+    runner.evaluate(w, SystemConfig::bitspec(), /*profile_seed=*/1);
+    EXPECT_EQ(runner.stats().systemsBuilt, 2u);
+
+    // A different config is a different System even for the same
+    // seeds.
+    runner.evaluate(w, SystemConfig::baseline());
+    EXPECT_EQ(runner.stats().systemsBuilt, 3u);
+
+    runner.clearCache();
+    runner.evaluate(w, SystemConfig::bitspec());
+    EXPECT_EQ(runner.stats().systemsBuilt, 4u);
+}
+
+TEST(ExperimentRunner, CachedRunsAreOrderIndependent)
+{
+    // Run seeds out of order against one cached System; every result
+    // must equal a fresh build's (the global-data snapshot restore).
+    const Workload &w = getWorkload("sha");
+    ExperimentRunner runner(1);
+    for (uint64_t run_seed : {2ull, 0ull, 2ull, 1ull, 0ull}) {
+        RunResult got =
+            runner.evaluate(w, SystemConfig::bitspec(), 0, run_seed);
+        RunResult ref = serialReference(
+            {&w, SystemConfig::bitspec(), 0, run_seed});
+        expectSameResult(ref, got,
+                         "run seed " + std::to_string(run_seed));
+    }
+    EXPECT_EQ(runner.stats().systemsBuilt, 1u);
+}
+
+TEST(ExperimentRunner, SystemKeySeparatesConfigs)
+{
+    const Workload &w = getWorkload("CRC32");
+    std::string base =
+        ExperimentRunner::systemKey(w, SystemConfig::baseline(), 0);
+    std::string spec =
+        ExperimentRunner::systemKey(w, SystemConfig::bitspec(), 0);
+    EXPECT_NE(base, spec);
+    EXPECT_EQ(base, ExperimentRunner::systemKey(
+                        w, SystemConfig::baseline(), 0));
+    EXPECT_NE(base, ExperimentRunner::systemKey(
+                        w, SystemConfig::baseline(), 1));
+
+    SystemConfig tweaked = SystemConfig::baseline();
+    tweaked.energy.rfRead32 += 0.125;
+    EXPECT_NE(base,
+              ExperimentRunner::systemKey(w, tweaked, 0));
+}
+
+TEST(ExperimentRunner, WorkerExceptionPropagatesAndRunnerSurvives)
+{
+    Workload bad;
+    bad.name = "bad-source";
+    bad.source = "u32 main( { this does not parse";
+    bad.setInput = [](Module &, uint64_t) {};
+
+    const Workload &good = getWorkload("CRC32");
+    ExperimentRunner runner(2);
+    std::vector<ExperimentCell> cells = {
+        {&good, SystemConfig::baseline(), 0, 0},
+        {&bad, SystemConfig::baseline(), 0, 0},
+        {&good, SystemConfig::bitspec(), 0, 0},
+    };
+    EXPECT_THROW(runner.run(cells), FatalError);
+
+    // The failed build must not poison the runner or the cache.
+    RunResult after = runner.evaluate(good, SystemConfig::baseline());
+    RunResult ref =
+        serialReference({&good, SystemConfig::baseline(), 0, 0});
+    expectSameResult(ref, after, "post-exception evaluate");
+}
+
+} // namespace
+} // namespace bitspec

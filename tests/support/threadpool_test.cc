@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "support/error.h"
+#include "support/threadpool.h"
+
+namespace bitspec
+{
+namespace
+{
+
+TEST(ThreadPool, ExecutesAllTasksAndReturnsResults)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+
+    std::vector<std::future<int>> futs;
+    for (int i = 0; i < 100; ++i)
+        futs.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(futs[i].get(), i * i);
+}
+
+TEST(ThreadPool, ResultsInSubmissionOrderRegardlessOfThreadCount)
+{
+    // The futures vector itself carries the ordering; with both a
+    // serial and a parallel pool the i-th future holds task i's
+    // result.
+    for (unsigned threads : {1u, 4u}) {
+        ThreadPool pool(threads);
+        std::vector<std::future<int>> futs;
+        for (int i = 0; i < 64; ++i)
+            futs.push_back(pool.submit([i] { return i; }));
+        for (int i = 0; i < 64; ++i)
+            EXPECT_EQ(futs[i].get(), i);
+    }
+}
+
+TEST(ThreadPool, FatalErrorPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    auto bad = pool.submit(
+        []() -> int { fatal("worker fatal"); });
+    EXPECT_THROW(bad.get(), FatalError);
+
+    // bsAssert failures (PanicError) propagate the same way.
+    auto panicky = pool.submit(
+        []() -> int { bsAssert(false, "worker assert"); return 0; });
+    EXPECT_THROW(panicky.get(), PanicError);
+
+    // The pool survives worker exceptions: later tasks still run.
+    auto ok = pool.submit([] { return 7; });
+    EXPECT_EQ(ok.get(), 7);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 32; ++i)
+            pool.submit([&done] { ++done; });
+        // No get(): the destructor must finish the queue, not drop it.
+    }
+    EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, DefaultThreadCountHonorsEnv)
+{
+    ::setenv("BITSPEC_JOBS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultThreadCount(), 3u);
+
+    // Out-of-range and malformed values fall back.
+    ::setenv("BITSPEC_JOBS", "0", 1);
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+    ::setenv("BITSPEC_JOBS", "not-a-number", 1);
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+
+    ::unsetenv("BITSPEC_JOBS");
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+
+    ThreadPool pool(0);
+    EXPECT_GE(pool.threadCount(), 1u);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial)
+{
+    ThreadPool pool(4);
+    std::vector<std::future<long>> futs;
+    for (long chunk = 0; chunk < 16; ++chunk)
+        futs.push_back(pool.submit([chunk] {
+            long s = 0;
+            for (long i = chunk * 1000; i < (chunk + 1) * 1000; ++i)
+                s += i;
+            return s;
+        }));
+    long total = 0;
+    for (auto &f : futs)
+        total += f.get();
+    EXPECT_EQ(total, 16000L * (16000L - 1) / 2);
+}
+
+} // namespace
+} // namespace bitspec

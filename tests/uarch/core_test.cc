@@ -4,6 +4,7 @@
 #include "frontend/irgen.h"
 #include "interp/interpreter.h"
 #include "profile/bitwidth_profile.h"
+#include "support/error.h"
 #include "transform/squeezer.h"
 #include "uarch/core.h"
 
@@ -162,6 +163,59 @@ TEST(Core, ThumbExecutesMoreInstructions)
     EXPECT_EQ(cb.run({100}), ct.run({100}));
     EXPECT_GT(ct.counters().instructions,
               cb.counters().instructions);
+}
+
+/** Hand-build a program running one memory op against @p addr, then
+ *  HALT. Address arrives via an immediate base operand. */
+MachProgram
+memProbeProgram(MOp op, uint32_t addr)
+{
+    MachProgram prog;
+    MachInst m;
+    m.op = op;
+    m.dst = MOpnd::makeReg(1);
+    m.a = MOpnd::makeImm(static_cast<int64_t>(addr));
+    m.b = MOpnd::makeImm(0);
+    prog.flat.push_back(m);
+    MachInst halt;
+    halt.op = MOp::HALT;
+    prog.flat.push_back(halt);
+    return prog;
+}
+
+TEST(Core, LoadBoundsCheckDoesNotWrapNearAddressMax)
+{
+    // addr + bytes overflows uint32_t (0xFFFFFFFD + 4 == 1), so a
+    // 32-bit comparison would accept the access and read far out of
+    // bounds. The check must be performed in 64 bits.
+    auto mod = compileSource("u32 main() { return 0; }");
+    MachProgram prog = memProbeProgram(MOp::LDR, 0xFFFFFFFDu);
+    Core core(prog, *mod);
+    EXPECT_THROW(core.run(), FatalError);
+}
+
+TEST(Core, StoreBoundsCheckDoesNotWrapNearAddressMax)
+{
+    auto mod = compileSource("u32 main() { return 0; }");
+    MachProgram prog = memProbeProgram(MOp::STR, 0xFFFFFFFEu);
+    Core core(prog, *mod);
+    EXPECT_THROW(core.run(), FatalError);
+}
+
+TEST(Core, StraddlingAccessAtMemoryEndIsRejected)
+{
+    // Non-wrapping case: a 4-byte access whose last byte falls one
+    // past the data memory must also fault.
+    auto mod = compileSource("u32 main() { return 0; }");
+    uint32_t end = static_cast<uint32_t>(Core::kMemBytes);
+    MachProgram prog = memProbeProgram(MOp::LDR, end - 3);
+    Core core(prog, *mod);
+    EXPECT_THROW(core.run(), FatalError);
+
+    // The last fully in-bounds word is fine.
+    MachProgram ok = memProbeProgram(MOp::LDR, end - 4);
+    Core core2(ok, *mod);
+    EXPECT_EQ(core2.run(), 0u);
 }
 
 } // namespace
