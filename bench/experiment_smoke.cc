@@ -142,6 +142,79 @@ jsonSection(const std::vector<GridTiming> &grids, unsigned threads)
     return os.str();
 }
 
+/** One static-analysis A/B row: the same workload squeezed with and
+ *  without the known-bits candidates + lint elision. */
+struct StaticLintRow
+{
+    std::string name;
+    SqueezeStats stats; ///< With static analysis on.
+    uint64_t instsOn = 0, instsOff = 0;
+    double energyOn = 0, energyOff = 0;
+    bool sameChecksum = true;
+};
+
+StaticLintRow
+measureStaticLint(const std::string &name)
+{
+    const Workload &w = getWorkload(name);
+    SystemConfig on = SystemConfig::bitspec();
+    SystemConfig off = on;
+    off.squeezeOpts.staticAnalysis = false;
+
+    StaticLintRow row;
+    row.name = name;
+    System sys_on = makeSystem(w, on);
+    RunResult r_on = runSeed(sys_on, w);
+    System sys_off = makeSystem(w, off);
+    RunResult r_off = runSeed(sys_off, w);
+
+    row.stats = r_on.squeezeStats;
+    row.instsOn = r_on.counters.instructions;
+    row.instsOff = r_off.counters.instructions;
+    row.energyOn = r_on.totalEnergy;
+    row.energyOff = r_off.totalEnergy;
+    row.sameChecksum = r_on.outputChecksum == r_off.outputChecksum;
+    return row;
+}
+
+std::string
+staticLintSection(const std::vector<StaticLintRow> &rows)
+{
+    std::ostringstream os;
+    os << "  \"static_lint\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const StaticLintRow &r = rows[i];
+        os << "    {\n";
+        os << "      \"name\": \"" << r.name << "\",\n";
+        os << "      \"lint_proven_safe\": " << r.stats.lintProvenSafe
+           << ",\n";
+        os << "      \"lint_proven_unsafe\": "
+           << r.stats.lintProvenUnsafe << ",\n";
+        os << "      \"lint_speculative\": " << r.stats.lintSpeculative
+           << ",\n";
+        os << "      \"static_narrowed\": " << r.stats.staticNarrowed
+           << ",\n";
+        os << "      \"checks_dropped\": " << r.stats.checksDropped
+           << ",\n";
+        os << "      \"regions_elided\": " << r.stats.regionsElided
+           << ",\n";
+        os << "      \"instructions_on\": " << r.instsOn << ",\n";
+        os << "      \"instructions_off\": " << r.instsOff << ",\n";
+        os << "      \"energy_on\": " << r.energyOn << ",\n";
+        os << "      \"energy_off\": " << r.energyOff << ",\n";
+        os << "      \"energy_delta_pct\": "
+           << (r.energyOff > 0
+                   ? 100.0 * (r.energyOff - r.energyOn) / r.energyOff
+                   : 0)
+           << ",\n";
+        os << "      \"same_checksum\": "
+           << (r.sameChecksum ? "true" : "false") << "\n";
+        os << "    }" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n";
+    return os.str();
+}
+
 /** Splice the section into the google-benchmark JSON by inserting it
  *  before the final closing brace. */
 bool
@@ -199,13 +272,40 @@ main(int argc, char **argv)
     }
     std::printf("threads=%u\n", threads);
 
+    // Static-analysis A/B: same workload squeezed with and without
+    // the known-bits candidates + lint check elision.
+    std::printf("\nstatic lint A/B (on vs off):\n");
+    std::vector<StaticLintRow> lint_rows;
+    for (const char *name :
+         {"CRC32", "bitcount", "dijkstra", "rijndael"}) {
+        lint_rows.push_back(measureStaticLint(name));
+        const StaticLintRow &r = lint_rows.back();
+        all_identical = all_identical && r.sameChecksum;
+        std::printf("%-12s safe=%-3u dropped=%-3u elided=%-3u "
+                    "insts %llu -> %llu  energy %.4g -> %.4g "
+                    "(%+.2f%%)  checksum=%s\n",
+                    r.name.c_str(), r.stats.lintProvenSafe,
+                    r.stats.checksDropped, r.stats.regionsElided,
+                    static_cast<unsigned long long>(r.instsOff),
+                    static_cast<unsigned long long>(r.instsOn),
+                    r.energyOff, r.energyOn,
+                    r.energyOff > 0 ? 100.0 * (r.energyOn - r.energyOff)
+                                          / r.energyOff
+                                    : 0.0,
+                    r.sameChecksum ? "same" : "DIFFERENT");
+    }
+
     if (argc > 1) {
-        if (appendToJson(argv[1], jsonSection(grids, threads)))
-            std::printf("appended experiment_engine section to %s\n",
+        bool ok = appendToJson(argv[1], jsonSection(grids, threads)) &&
+                  appendToJson(argv[1], staticLintSection(lint_rows));
+        if (ok)
+            std::printf("appended experiment_engine + static_lint "
+                        "sections to %s\n",
                         argv[1]);
         else
-            std::printf("could not update %s; section follows:\n%s",
-                        argv[1], jsonSection(grids, threads).c_str());
+            std::printf("could not update %s; sections follow:\n%s%s",
+                        argv[1], jsonSection(grids, threads).c_str(),
+                        staticLintSection(lint_rows).c_str());
     }
     return all_identical ? 0 : 1;
 }

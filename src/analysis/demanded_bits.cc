@@ -21,6 +21,53 @@ widthMask(Type t)
     return t.isVoid() ? 0 : lowMask(t.bits);
 }
 
+/**
+ * Result bits @p inst can ever set. Demands are intersected with this
+ * before being recorded: a bit the producer provably keeps at zero
+ * need not be computed, so demanding it from the operands would only
+ * inflate widths. This is what collapses the stored-rotate idiom —
+ * `(x << k) | (x >> (w-k))` — where the funnel-shift halves each
+ * cover a few constant positions, not the full width.
+ */
+uint64_t
+possibleBits(const Instruction *inst)
+{
+    uint64_t w = widthMask(inst->type());
+    auto const_val = [](const Value *v, uint64_t &out) {
+        if (!v->isConstant())
+            return false;
+        out = static_cast<const Constant *>(v)->value();
+        return true;
+    };
+    uint64_t k;
+    switch (inst->op()) {
+      case Opcode::Shl:
+        if (const_val(inst->operand(1), k))
+            return k >= 64 ? 0 : (w << k) & w;
+        return w;
+      case Opcode::LShr:
+        if (const_val(inst->operand(1), k))
+            return k >= 64 ? 0 : w >> k;
+        return w;
+      case Opcode::ZExt:
+        return widthMask(inst->operand(0)->type());
+      case Opcode::And: {
+        uint64_t possible = w;
+        for (const Value *v : inst->operands())
+            if (const_val(v, k))
+                possible &= k;
+        return possible;
+      }
+      case Opcode::URem:
+        // x % d < d: only bits below d's width can appear.
+        if (const_val(inst->operand(1), k) && k >= 2)
+            return w & lowMask(requiredBits(k - 1));
+        return w;
+      default:
+        return w;
+    }
+}
+
 } // namespace
 
 DemandedBits::DemandedBits(Function &f)
@@ -36,6 +83,7 @@ DemandedBits::DemandedBits(Function &f)
             return false;
         auto *inst = static_cast<Instruction *>(v);
         bits &= widthMask(inst->type());
+        bits &= possibleBits(inst);
         uint64_t &cur = masks_[inst];
         uint64_t merged = cur | bits;
         if (merged == cur)

@@ -1,0 +1,191 @@
+#include "analysis/lint.h"
+
+#include "analysis/cfg.h"
+#include "analysis/known_bits.h"
+#include "support/bits.h"
+
+namespace bitspec
+{
+
+namespace
+{
+
+constexpr unsigned kSlice = 8; ///< Hardware slice width (Table 1).
+
+std::string
+boundsStr(const KnownBits &k)
+{
+    return "[" + std::to_string(k.lo) + "," + std::to_string(k.hi) +
+           "]";
+}
+
+LintFinding
+classify(const Instruction *inst, const KnownBitsAnalysis &kb,
+         const std::string &where)
+{
+    LintFinding f;
+    f.inst = inst;
+    f.srcLine = inst->srcLine();
+    const uint64_t cap = lowMask(kSlice);
+
+    LintVerdict v = LintVerdict::Speculative;
+    std::string why;
+    switch (inst->op()) {
+      case Opcode::Trunc: {
+        KnownBits x = kb.known(inst->operand(0));
+        if (x.hi <= cap) {
+            v = LintVerdict::ProvenSafe;
+            why = "operand bound " + boundsStr(x) + " fits the slice";
+        } else if (x.lo > cap) {
+            v = LintVerdict::ProvenUnsafe;
+            why = "operand bound " + boundsStr(x) +
+                  " always exceeds the slice";
+        } else {
+            why = "operand bound " + boundsStr(x) + " straddles " +
+                  std::to_string(cap);
+        }
+        break;
+      }
+      case Opcode::Add: {
+        KnownBits a = kb.known(inst->operand(0));
+        KnownBits b = kb.known(inst->operand(1));
+        if (a.hi + b.hi <= cap) {
+            v = LintVerdict::ProvenSafe;
+            why = "sum bound " + boundsStr(a) + "+" + boundsStr(b) +
+                  " cannot carry out";
+        } else if (a.lo + b.lo > cap) {
+            v = LintVerdict::ProvenUnsafe;
+            why = "sum bound " + boundsStr(a) + "+" + boundsStr(b) +
+                  " always carries out";
+        } else {
+            why = "carry out depends on runtime values";
+        }
+        break;
+      }
+      case Opcode::Sub: {
+        KnownBits a = kb.known(inst->operand(0));
+        KnownBits b = kb.known(inst->operand(1));
+        if (b.hi <= a.lo) {
+            v = LintVerdict::ProvenSafe;
+            why = "difference " + boundsStr(a) + "-" + boundsStr(b) +
+                  " cannot borrow";
+        } else if (a.hi < b.lo) {
+            v = LintVerdict::ProvenUnsafe;
+            why = "difference " + boundsStr(a) + "-" + boundsStr(b) +
+                  " always borrows";
+        } else {
+            why = "borrow depends on runtime values";
+        }
+        break;
+      }
+      case Opcode::Load:
+        why = "memory contents are statically unbounded";
+        break;
+      default:
+        // Logic/moves have no misspeculating machine form; a stray
+        // speculative flag there is still a check that never fires.
+        v = LintVerdict::ProvenSafe;
+        why = "operation has no misspeculating form";
+        break;
+    }
+
+    f.verdict = v;
+    f.message = where + ": speculative " +
+                std::string(opcodeName(inst->op())) +
+                (inst->name().empty() ? "" : " %" + inst->name()) +
+                (f.srcLine > 0
+                     ? " (line " + std::to_string(f.srcLine) + ")"
+                     : "") +
+                ": " + lintVerdictName(v) + " — " + why;
+    return f;
+}
+
+} // namespace
+
+const char *
+lintVerdictName(LintVerdict v)
+{
+    switch (v) {
+      case LintVerdict::ProvenSafe: return "proven-safe";
+      case LintVerdict::ProvenUnsafe: return "proven-unsafe";
+      case LintVerdict::Speculative: return "speculative";
+    }
+    return "?";
+}
+
+LintReport
+lintFunction(Function &f)
+{
+    LintReport report;
+    KnownBitsAnalysis kb(f);
+    for (const auto &bb : f.blocks()) {
+        for (const auto &inst : bb->insts()) {
+            if (inst->isSpeculative()) {
+                LintFinding fd = classify(
+                    inst.get(), kb, f.name() + ":" + bb->name());
+                switch (fd.verdict) {
+                  case LintVerdict::ProvenSafe:
+                    ++report.provenSafe;
+                    break;
+                  case LintVerdict::ProvenUnsafe:
+                    ++report.provenUnsafe;
+                    break;
+                  case LintVerdict::Speculative:
+                    ++report.speculative;
+                    break;
+                }
+                report.findings.push_back(std::move(fd));
+            } else if (inst->type().bits == kSlice) {
+                ++report.exactSlices;
+            }
+        }
+    }
+    return report;
+}
+
+LintReport
+lintModule(Module &m)
+{
+    LintReport report;
+    for (const auto &f : m.functions())
+        report += lintFunction(*f);
+    return report;
+}
+
+LintElisionStats
+applyLintVerdicts(Function &f, const LintReport &report)
+{
+    LintElisionStats st;
+    for (const LintFinding &fd : report.findings) {
+        if (fd.verdict != LintVerdict::ProvenSafe)
+            continue;
+        auto *inst = const_cast<Instruction *>(fd.inst);
+        if (!inst->isSpeculative() || inst->parent()->parent() != &f)
+            continue;
+        // Loads never classify safe; everything else has an exact
+        // 8-bit form with identical non-misspeculating semantics.
+        inst->setSpeculative(false);
+        inst->setSpecOrigBits(0);
+        ++st.checksDropped;
+    }
+    if (st.checksDropped == 0)
+        return st;
+
+    // A region whose last check disappeared protects nothing: delete
+    // it so its handler (and the CFG_orig tail behind it) dies with
+    // the next unreachable-block sweep.
+    auto &regions = f.specRegionsMut();
+    std::erase_if(regions, [&](const std::unique_ptr<SpecRegion> &sr) {
+        for (BasicBlock *bb : sr->blocks)
+            for (const auto &inst : bb->insts())
+                if (inst->isSpeculative())
+                    return false;
+        ++st.regionsRemoved;
+        return true;
+    });
+    if (st.regionsRemoved > 0)
+        removeUnreachableBlocks(f);
+    return st;
+}
+
+} // namespace bitspec

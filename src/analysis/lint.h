@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Speculative-safety lint: classifies every squeezed slice.
+ *
+ * The squeezer narrows on profile evidence alone; the lint pass runs
+ * the known-bits analysis over the squeezed function and sorts each
+ * speculative site into one of three verdicts:
+ *
+ *  - ProvenSafe: the static bound shows the check can never fire
+ *    (e.g. a speculative truncate whose operand provably fits the
+ *    slice, or a speculative add whose operand bounds cannot carry
+ *    out). The check — and with it the skeleton slot and possibly the
+ *    whole region — is pure overhead; applyLintVerdicts() drops it.
+ *  - ProvenUnsafe: the site *always* misspeculates (the static lower
+ *    bound exceeds the slice). Executing it is correct but useless —
+ *    every entry pays the misspeculation recovery. Reported as a
+ *    diagnostic with the source location so the squeeze can be
+ *    suppressed.
+ *  - Speculative: the paper's intended case — the profile says the
+ *    value fits, static analysis cannot prove it either way.
+ *
+ * Non-speculative slice instructions (exact narrowing, bitmask
+ * elision) carry no check by construction and are counted as
+ * exactSlices.
+ */
+
+#ifndef BITSPEC_ANALYSIS_LINT_H_
+#define BITSPEC_ANALYSIS_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace bitspec
+{
+
+enum class LintVerdict
+{
+    ProvenSafe,   ///< Check can never fire; droppable.
+    ProvenUnsafe, ///< Check always fires; the squeeze is useless.
+    Speculative,  ///< Statically undecided (paper behaviour).
+};
+
+const char *lintVerdictName(LintVerdict v);
+
+/** One classified speculative site. */
+struct LintFinding
+{
+    const Instruction *inst = nullptr;
+    LintVerdict verdict = LintVerdict::Speculative;
+    int srcLine = 0;     ///< 1-based source line; 0 = synthesized.
+    std::string message; ///< Human-readable diagnostic.
+};
+
+/** Lint result over a function or module. */
+struct LintReport
+{
+    std::vector<LintFinding> findings; ///< One per speculative site.
+    unsigned provenSafe = 0;
+    unsigned provenUnsafe = 0;
+    unsigned speculative = 0;
+    /** Slice-typed defs with no check (exact narrowing / source i8). */
+    unsigned exactSlices = 0;
+
+    LintReport &
+    operator+=(const LintReport &o)
+    {
+        findings.insert(findings.end(), o.findings.begin(),
+                        o.findings.end());
+        provenSafe += o.provenSafe;
+        provenUnsafe += o.provenUnsafe;
+        speculative += o.speculative;
+        exactSlices += o.exactSlices;
+        return *this;
+    }
+};
+
+/** Classify every speculative site of @p f. */
+LintReport lintFunction(Function &f);
+
+/** Classify every speculative site of @p m. */
+LintReport lintModule(Module &m);
+
+/** What applyLintVerdicts changed. */
+struct LintElisionStats
+{
+    unsigned checksDropped = 0;  ///< Spec flags cleared (proven safe).
+    unsigned regionsRemoved = 0; ///< Regions left with no check.
+};
+
+/**
+ * Drop the checks of every ProvenSafe finding: the speculative flag is
+ * cleared (the op becomes its exact 8-bit form), and regions whose
+ * last speculative instruction disappeared are deleted together with
+ * their handlers — which makes the handler, and usually the whole
+ * CFG_orig tail behind it, unreachable. The caller is expected to run
+ * its usual cleanup (unreachable-block removal is done here; phi
+ * simplification and DCE belong to the transform layer).
+ */
+LintElisionStats applyLintVerdicts(Function &f,
+                                   const LintReport &report);
+
+} // namespace bitspec
+
+#endif // BITSPEC_ANALYSIS_LINT_H_

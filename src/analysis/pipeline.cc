@@ -1,0 +1,80 @@
+#include "analysis/pipeline.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/lint.h"
+#include "analysis/verifier.h"
+#include "support/error.h"
+
+namespace bitspec
+{
+
+namespace
+{
+
+int forced_ = -1;
+
+bool
+envEnabled()
+{
+    static const bool on = [] {
+        const char *v = std::getenv("BITSPEC_VERIFY_EACH");
+        return v != nullptr && *v != '\0' &&
+               !(v[0] == '0' && v[1] == '\0');
+    }();
+    return on;
+}
+
+void
+reportUnsafe(const LintReport &report, const char *stage)
+{
+    for (const LintFinding &f : report.findings)
+        if (f.verdict == LintVerdict::ProvenUnsafe)
+            std::fprintf(stderr, "bitspec-lint [%s]: %s\n", stage,
+                         f.message.c_str());
+}
+
+} // namespace
+
+void
+setPipelineVerifyForced(int forced)
+{
+    forced_ = forced;
+}
+
+bool
+pipelineVerifyEnabled()
+{
+    if (forced_ >= 0)
+        return forced_ != 0;
+    return envEnabled();
+}
+
+void
+pipelineCheckpoint(Module &m, const char *stage)
+{
+    if (!pipelineVerifyEnabled())
+        return;
+    verifyOrDie(m, stage);
+    reportUnsafe(lintModule(m), stage);
+}
+
+void
+pipelineCheckpoint(Function &f, const char *stage)
+{
+    if (!pipelineVerifyEnabled())
+        return;
+    std::vector<std::string> problems = verifyFunction(f);
+    if (!problems.empty()) {
+        std::string msg = "IR verification failed (" +
+                          std::string(stage) + ", function " +
+                          f.name() + "):";
+        for (const std::string &p : problems)
+            msg += "\n  " + p;
+        panic(msg);
+    }
+    reportUnsafe(lintFunction(f), stage);
+}
+
+} // namespace bitspec

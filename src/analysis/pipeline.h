@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Pass-pipeline instrumentation: optional verify + lint checkpoints
+ * between compilation stages.
+ *
+ * When the BITSPEC_VERIFY_EACH environment variable is set (non-empty,
+ * not "0"), every pipelineCheckpoint() call re-verifies the module and
+ * lints speculative sites, printing proven-unsafe diagnostics to
+ * stderr. When unset the checkpoints are (nearly) free, so they are
+ * left compiled-in on every pipeline stage.
+ */
+
+#ifndef BITSPEC_ANALYSIS_PIPELINE_H_
+#define BITSPEC_ANALYSIS_PIPELINE_H_
+
+#include "ir/module.h"
+
+namespace bitspec
+{
+
+/**
+ * True when per-stage verification is on: either forced by
+ * setPipelineVerifyForced() or requested via BITSPEC_VERIFY_EACH.
+ */
+bool pipelineVerifyEnabled();
+
+/**
+ * Test hook overriding the environment: 1 = force on, 0 = force off,
+ * -1 = defer to BITSPEC_VERIFY_EACH again.
+ */
+void setPipelineVerifyForced(int forced);
+
+/**
+ * Checkpoint after the pipeline stage named @p stage: verifyOrDie()
+ * plus a lint sweep whose proven-unsafe findings go to stderr. No-op
+ * unless pipelineVerifyEnabled().
+ */
+void pipelineCheckpoint(Module &m, const char *stage);
+
+/** Per-function variant (used inside the squeezer's sub-stages). */
+void pipelineCheckpoint(Function &f, const char *stage);
+
+} // namespace bitspec
+
+#endif // BITSPEC_ANALYSIS_PIPELINE_H_

@@ -180,11 +180,26 @@ verifyFunction(Function &f)
     for (BasicBlock *h : handlers) {
         if (in_region.count(h))
             bad("handler is member of a region: " + h->name());
-        // Handlers cannot be branch targets.
+        // Handlers are entered by misspeculation only: never a branch
+        // target, never the function entry (which the caller enters).
+        if (!f.blocks().empty() && h == f.entry())
+            bad("handler is the function entry: " + h->name());
         for (const auto &bb : f.blocks())
             for (BasicBlock *succ : bb->successors())
                 if (succ == h)
                     bad("handler is a branch target: " + h->name());
+    }
+
+    // Every speculative instruction needs a region (and with it a
+    // handler) to redirect to; a stray flag outside any region would
+    // misspeculate into nowhere.
+    for (const auto &bb : f.blocks()) {
+        if (in_region.count(bb.get()))
+            continue;
+        for (const auto &inst : bb->insts())
+            if (inst->isSpeculative())
+                bad("speculative instruction outside any region in " +
+                    bb->name());
     }
 
     // Theorem 3.1: values defined in a region are dead at its handler.

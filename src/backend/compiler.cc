@@ -1,6 +1,8 @@
 #include "backend/compiler.h"
 
+#include "analysis/pipeline.h"
 #include "backend/layout.h"
+#include "backend/mir_verifier.h"
 #include "backend/regalloc.h"
 #include "support/error.h"
 
@@ -21,6 +23,8 @@ compileModule(Module &m, TargetISA isa)
     if (!main_fn)
         fatal("compileModule: no main function");
 
+    pipelineCheckpoint(m, "backend:pre_isel");
+
     CompiledProgram out;
     std::vector<MachFunction> funcs;
     for (const auto &f : m.functions()) {
@@ -31,6 +35,7 @@ compileModule(Module &m, TargetISA isa)
         out.stats.staticCopies += fs.staticCopies;
         out.stats.spilledVRegs += fs.spilledVRegs;
         out.stats.skeletonInsts += layoutFunction(mf);
+        mirVerifyOrDie(mf, "after layout of " + mf.name);
         funcs.push_back(std::move(mf));
     }
 

@@ -259,22 +259,28 @@ layoutFunction(MachFunction &mf)
     uint32_t spec_insts = static_cast<uint32_t>(mf.code.size());
     mf.delta = spec_insts * kInstBytes;
 
-    // Skeleton area: slot i serves the speculative-area instruction i.
+    // Skeleton area: slot i serves the speculative-area instruction i
+    // (Eq. 1/2: a misspeculation at code index i redirects to index
+    // i + Δ/4). Slot counts must follow the EMITTED per-block ranges
+    // — fall-through elision above can drop a terminator, and using
+    // the original instruction counts would skew every later slot's
+    // handler mapping. The emitted range of each region block is
+    // recovered from blockIndex.
     unsigned skeletons = 0;
-    {
-        uint32_t idx = 0;
-        for (int id : region_blocks) {
-            for (size_t k = 0; k < mf.blocks[id].insts.size(); ++k) {
-                MachInst sk;
-                sk.op = MOp::B;
-                sk.tag = InstTag::Skeleton;
-                sk.target = mf.blocks[id].handlerBlock;
-                mf.code.push_back(sk);
-                ++skeletons;
-                ++idx;
-            }
+    for (size_t k = 0; k < region_blocks.size(); ++k) {
+        int id = region_blocks[k];
+        uint32_t start = mf.blockIndex.at(id);
+        uint32_t end = k + 1 < region_blocks.size()
+                           ? mf.blockIndex.at(region_blocks[k + 1])
+                           : spec_insts;
+        for (uint32_t j = start; j < end; ++j) {
+            MachInst sk;
+            sk.op = MOp::B;
+            sk.tag = InstTag::Skeleton;
+            sk.target = mf.blocks[id].handlerBlock;
+            mf.code.push_back(sk);
+            ++skeletons;
         }
-        (void)idx;
     }
 
     // Chain the non-speculative area greedily along unconditional

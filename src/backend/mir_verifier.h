@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Machine-IR verifier: structural sanity of a laid-out MachFunction.
+ *
+ * Runs after layoutFunction(), before linking, and checks what the
+ * layout contract (paper §3.3.4, Eq. 1/2) promises the core:
+ *
+ *  - operands are allocated (no virtual registers survive), register
+ *    and slice numbers are in range, and every operand kind is legal
+ *    for its opcode's read/write position;
+ *  - speculative flags appear only on the Table 1 ops that have a
+ *    speculative variant, and every instruction that may
+ *    misspeculate sits inside the speculative area (index < Δ/4);
+ *  - the skeleton area occupies exactly [Δ/4, 2·Δ/4) and slot i
+ *    branches to the handler of the region block that owns emitted
+ *    speculative instruction i, so PC += Δ always lands on the right
+ *    redirect;
+ *  - SETDELTA immediates were patched to Δ;
+ *  - branches land on block starts, handlers are entered only via
+ *    skeleton branches, and no handler can be reached by falling
+ *    through from the previous instruction in layout order.
+ */
+
+#ifndef BITSPEC_BACKEND_MIR_VERIFIER_H_
+#define BITSPEC_BACKEND_MIR_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "backend/mir.h"
+
+namespace bitspec
+{
+
+/** Verify @p mf; returns human-readable problems (empty = valid). */
+std::vector<std::string> verifyMachFunction(const MachFunction &mf);
+
+/** Panic with a diagnostic if @p mf fails verification. */
+void mirVerifyOrDie(const MachFunction &mf, const std::string &when);
+
+} // namespace bitspec
+
+#endif // BITSPEC_BACKEND_MIR_VERIFIER_H_

@@ -56,6 +56,7 @@ ExperimentRunner::systemKey(const Workload &w, const SystemConfig &c,
     appendField(key, "speculate", c.squeezeOpts.speculate);
     appendField(key, "cmpElim", c.squeezeOpts.compareElimination);
     appendField(key, "bitmask", c.squeezeOpts.bitmaskElision);
+    appendField(key, "staticKb", c.squeezeOpts.staticAnalysis);
     appendField(key, "unroll",
                 static_cast<uint64_t>(c.expander.unrollFactor));
     appendField(key, "maxFn",

@@ -1,5 +1,6 @@
 #include "core/system.h"
 
+#include "analysis/pipeline.h"
 #include "analysis/verifier.h"
 #include "frontend/irgen.h"
 #include "interp/interpreter.h"
@@ -61,13 +62,19 @@ System::System(const std::string &source, const SystemConfig &config,
     module_ = compileSource(source);
     if (train_input)
         train_input(*module_);
+    pipelineCheckpoint(*module_, "frontend:irgen");
 
     expandStats_ = expandModule(*module_, config_.expander);
+    pipelineCheckpoint(*module_, "transform:expander");
 
     // One persistent training interpreter: a single profiled run yields
     // both the dynamic IR step count and the bitwidth profile (the
     // training input used to be executed twice for this).
     trainInterp_ = std::make_unique<Interpreter>(*module_);
+    // Differential soundness check (BITSPEC_VERIFY_EACH): every value
+    // the training run observes must respect its known-bits ceiling.
+    if (pipelineVerifyEnabled())
+        trainInterp_->enableStaticBoundsCheck();
     if (config_.squeeze) {
         BitwidthProfile profile;
         profile.profileRun(*trainInterp_, "main", train_args);
@@ -77,6 +84,7 @@ System::System(const std::string &source, const SystemConfig &config,
         // The squeezer restructured the module; cached decoded
         // functions are stale.
         trainInterp_->invalidate();
+        pipelineCheckpoint(*module_, "transform:squeezer");
     } else {
         trainInterp_->run("main", train_args);
         trainIrSteps_ = trainInterp_->stats().steps;

@@ -331,6 +331,8 @@ class FuncGen
     TV
     genExpr(const Expr &e)
     {
+        if (e.line > 0)
+            b_.setCurLine(e.line);
         switch (e.kind) {
           case ExprKind::IntLit: {
             SrcType t{e.intValue > 0xffffffffULL ? 64u : 32u, false};
@@ -622,6 +624,8 @@ class FuncGen
     void
     genStmt(const Stmt &s)
     {
+        if (s.line > 0)
+            b_.setCurLine(s.line);
         switch (s.kind) {
           case StmtKind::Block: {
             pushScope();

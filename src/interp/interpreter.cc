@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "analysis/known_bits.h"
 #include "interp/decode.h"
 #include "support/bits.h"
 #include "support/error.h"
@@ -96,6 +97,7 @@ Interpreter::invalidate()
     slotCache_.clear();
     prof_.clear();
     profInst_.clear();
+    staticBound_.clear();
 }
 
 uint64_t
@@ -146,6 +148,16 @@ Interpreter::decodedFor(Function *f)
     for (const Instruction *inst : df->profiledInsts())
         profInst_.push_back(inst);
     prof_.resize(profInst_.size());
+    if (boundsCheck_) {
+        // Static ceilings are sound on every non-misspeculating path,
+        // and misspeculating instructions never reach profileAssign.
+        KnownBitsAnalysis kb(*f);
+        for (const Instruction *inst : df->profiledInsts())
+            staticBound_.push_back(
+                requiredBits(kb.known(inst).hi));
+    } else {
+        staticBound_.resize(profInst_.size(), 64);
+    }
     const DecodedFunction &ref = *df;
     decodeCache_.emplace(f, std::move(df));
     return ref;
@@ -162,6 +174,19 @@ Interpreter::legacyInfo(Function *f)
         for (BasicBlock *member : sr->blocks)
             info.regionOf[member] = sr.get();
     return info;
+}
+
+void
+Interpreter::boundsViolation(uint32_t id, unsigned bits) const
+{
+    const Instruction *inst = profInst_[id];
+    fatal(strFormat(
+        "known-bits soundness violation: %s%s produced a %u-bit value "
+        "but the static bound is %u bits",
+        opcodeName(inst->op()),
+        inst->name().empty() ? ""
+                             : (" %" + inst->name()).c_str(),
+        bits, staticBound_[id]));
 }
 
 std::vector<Interpreter::ValueProfileEntry>

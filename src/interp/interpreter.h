@@ -128,6 +128,21 @@ class Interpreter
     /// @{
     void enableValueProfile() { profileEnabled_ = true; }
 
+    /**
+     * Differential soundness check for the known-bits analysis: every
+     * profiled assignment's observed RequiredBits must stay within the
+     * static upper bound of its instruction (computed per function at
+     * decode time). A violation means the forward analysis is unsound
+     * and aborts execution. Implies enableValueProfile(); must be
+     * enabled before the first run (bounds are baked at decode).
+     */
+    void
+    enableStaticBoundsCheck()
+    {
+        boundsCheck_ = true;
+        profileEnabled_ = true;
+    }
+
     struct ValueProfileEntry
     {
         const Instruction *inst;
@@ -196,7 +211,11 @@ class Interpreter
         c.maxBits = std::max(c.maxBits, bits);
         c.sumBits += bits;
         ++c.count;
+        if (boundsCheck_ && bits > staticBound_[id])
+            boundsViolation(id, bits);
     }
+
+    [[noreturn]] void boundsViolation(uint32_t id, unsigned bits) const;
 
     Module &module_;
     std::vector<uint8_t> memory_;
@@ -219,6 +238,11 @@ class Interpreter
     bool profileEnabled_ = false;
     std::vector<ProfCell> prof_;
     std::vector<const Instruction *> profInst_;
+
+    /** Static RequiredBits ceiling per profiled site (64 when the
+     *  bounds check is off at decode time). */
+    bool boundsCheck_ = false;
+    std::vector<unsigned> staticBound_;
 };
 
 } // namespace bitspec

@@ -26,6 +26,11 @@ class IRBuilder
     void setInsertPoint(BasicBlock *bb) { bb_ = bb; }
     BasicBlock *insertBlock() const { return bb_; }
 
+    /** Source line stamped on subsequently built instructions (0 =
+     *  synthesized). Set per statement by the frontend. */
+    void setCurLine(int line) { curLine_ = line; }
+    int curLine() const { return curLine_; }
+
     /** @name Constants */
     /// @{
     Constant *constInt(Type t, uint64_t v) { return module_->getConst(t, v); }
@@ -239,6 +244,7 @@ class IRBuilder
         auto *inst = new Instruction(op, type);
         if (!name.empty())
             inst->setName(name);
+        inst->setSrcLine(curLine_);
         return inst;
     }
 
@@ -252,6 +258,7 @@ class IRBuilder
 
     Module *module_;
     BasicBlock *bb_ = nullptr;
+    int curLine_ = 0;
 };
 
 } // namespace bitspec

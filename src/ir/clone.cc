@@ -17,6 +17,7 @@ cloneInstruction(const Instruction *inst)
     copy->setSpeculative(inst->isSpeculative());
     copy->setGuard(inst->isGuard());
     copy->setSpecOrigBits(inst->specOrigBits());
+    copy->setSrcLine(inst->srcLine());
     return copy;
 }
 

@@ -163,6 +163,12 @@ class Instruction : public Value
     unsigned id() const { return id_; }
     void setId(unsigned id) { id_ = id; }
 
+    /** 1-based source line of the statement this instruction was
+     *  generated from; 0 for synthesized instructions. Carried through
+     *  cloning so lint diagnostics on CFG_spec point at source. */
+    int srcLine() const { return srcLine_; }
+    void setSrcLine(int line) { srcLine_ = line; }
+
   private:
     Opcode op_;
     std::vector<Value *> operands_;
@@ -174,6 +180,7 @@ class Instruction : public Value
     bool guard_ = false;
     unsigned specOrigBits_ = 0;
     unsigned id_ = 0;
+    int srcLine_ = 0;
 };
 
 } // namespace bitspec

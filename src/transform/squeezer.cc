@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
 #include <unordered_map>
 
 #include "analysis/cfg.h"
 #include "analysis/demanded_bits.h"
+#include "analysis/known_bits.h"
+#include "analysis/lint.h"
 #include "analysis/liveness.h"
+#include "analysis/pipeline.h"
 #include "analysis/verifier.h"
 #include "ir/builder.h"
 #include "ir/clone.h"
@@ -94,6 +98,44 @@ class SqueezerImpl
                static_cast<Constant *>(v)->value() <= lowMask(kSlice);
     }
 
+    /** True when known-bits proves @p u always fits the slice. The
+     *  analysis is computed before any rewriting; values the squeezer
+     *  has already mutated are resolved through narrowOf_ by every
+     *  caller before this is consulted, so stale facts are never
+     *  load-bearing. */
+    bool
+    staticFits(Value *u) const
+    {
+        if (!opts_.staticAnalysis || kb_ == nullptr)
+            return false;
+        if (!u->type().isInt())
+            return false;
+        return kb_->known(u).fits(kSlice);
+    }
+
+    /** Static candidate: the result and every data operand provably
+     *  fit the slice, so the 8-bit form computes the identical value
+     *  (mod-2^w arithmetic restricted to [0,255] on both ends) and
+     *  needs no check, no profile data and no idempotent block. */
+    bool
+    isStaticCandidate(Instruction *w) const
+    {
+        if (!opts_.staticAnalysis || kb_ == nullptr)
+            return false;
+        if (w->op() == Opcode::Load)
+            return false; // Memory contents are unbounded.
+        if (!staticFits(w))
+            return false;
+        for (size_t i = 0; i < w->numOperands(); ++i) {
+            if (w->op() == Opcode::Select && i == 0)
+                continue; // i1 condition.
+            Value *u = w->operand(i);
+            if (!isNarrowConst(u) && !staticFits(u))
+                return false;
+        }
+        return true;
+    }
+
     /** The narrow (i8) version of @p u for use at @p before in @p bb,
      *  inserting a truncate when needed. @p allow_spec permits
      *  speculative truncates of values whose producer stays wide. */
@@ -123,10 +165,11 @@ class SqueezerImpl
                                                 Type(kSlice));
         tr->addOperand(u);
         tr->setName("sq.tr");
-        if (candidates_.count(u) || !opts_.speculate) {
+        if (candidates_.count(u) || !opts_.speculate || staticFits(u)) {
             // Producer will be narrowed (the trunc collapses to the
-            // narrow def during cleanup), or exact mode: dropping the
-            // high bits cannot affect the demanded result bits.
+            // narrow def during cleanup), exact mode (dropping the
+            // high bits cannot affect the demanded result bits), or
+            // known-bits proved the value fits: all exact truncates.
         } else {
             bsAssert(allow_spec, "spec trunc where not allowed");
             tr->setSpeculative(true);
@@ -173,16 +216,24 @@ class SqueezerImpl
     runExact()
     {
         DemandedBits db(f_);
+        if (opts_.staticAnalysis)
+            kb_ = std::make_unique<KnownBitsAnalysis>(f_);
 
-        // Candidates: provably narrow results.
+        // Candidates: provably narrow results — backward (demanded
+        // bits: the wide bits are never observed) or forward
+        // (known bits: the wide bits are always zero).
         for (auto &bb : f_.blocks()) {
             for (auto &inst : bb->insts()) {
                 if (inst->type().bits <= kSlice || !inst->type().isInt())
                     continue;
                 if (!isNarrowableOp(inst->op()))
                     continue;
-                if (db.demandedWidth(inst.get()) <= kSlice)
+                if (db.demandedWidth(inst.get()) <= kSlice) {
                     candidates_.insert(inst.get());
+                } else if (isStaticCandidate(inst.get())) {
+                    candidates_.insert(inst.get());
+                    staticSafe_.insert(inst.get());
+                }
             }
         }
 
@@ -280,6 +331,14 @@ class SqueezerImpl
                     elided_.insert(w);
                     continue;
                 }
+                // Known-bits proof: exact narrowing, exempt from the
+                // profile/idempotence requirements below (the 8-bit
+                // form never misspeculates, so nothing re-executes).
+                if (isStaticCandidate(w)) {
+                    candidates_.insert(w);
+                    staticSafe_.insert(w);
+                    continue;
+                }
                 // Misspeculating ops need an idempotent block to
                 // re-execute; pure copies/logic do not.
                 if (canMisspeculate(w->op()) && !idem)
@@ -314,7 +373,8 @@ class SqueezerImpl
                             continue;
                         bool avail = isNarrowConst(u) ||
                                      u->type().bits == kSlice ||
-                                     candidates_.count(u);
+                                     candidates_.count(u) ||
+                                     staticFits(u);
                         if (!avail) {
                             candidates_.erase(w);
                             changed = true;
@@ -336,6 +396,11 @@ class SqueezerImpl
                                    return p.get() == w;
                                });
         bsAssert(at != bb->insts().end(), "candidate not in its block");
+
+        if (staticSafe_.count(w)) {
+            allow_spec = false; // Known-bits proof: exact rewrite.
+            ++stats_.staticNarrowed;
+        }
 
         if (elided_.count(w)) {
             // `and x, 0xff` -> exact truncate of x (a slice move in
@@ -606,6 +671,7 @@ class SqueezerImpl
     runSpeculative()
     {
         prepareCFG(f_);
+        pipelineCheckpoint(f_, "squeezer:cfg_prep");
 
         // Snapshot + clone: the clones become CFG_spec and take over
         // as the executable entry.
@@ -638,6 +704,13 @@ class SqueezerImpl
         // targets are queried. Simplest: extend the profile keys.
         remapProfileThroughClones(cm);
         cloneMap_ = &cm;
+
+        // Known-bits facts are computed once, on the pre-narrowing
+        // function (clones included). Rewriting mutates candidates
+        // into zexts, but every query for a mutated value resolves
+        // through narrowOf_ first, so the stale facts are never read.
+        if (opts_.staticAnalysis)
+            kb_ = std::make_unique<KnownBitsAnalysis>(f_);
 
         computeCandidates(spec_blocks);
 
@@ -750,6 +823,24 @@ class SqueezerImpl
         removeUnreachableBlocks(f_);
         simplifyTrivialPhis(f_);
         deadCodeElim(f_);
+        pipelineCheckpoint(f_, "squeezer:ssa_repair");
+
+        // ---- Lint: classify every speculative site, then drop the
+        // checks the analysis proved can never fire. ----
+        if (opts_.staticAnalysis) {
+            LintReport report = lintFunction(f_);
+            stats_.lintProvenSafe += report.provenSafe;
+            stats_.lintProvenUnsafe += report.provenUnsafe;
+            stats_.lintSpeculative += report.speculative;
+            LintElisionStats elided = applyLintVerdicts(f_, report);
+            stats_.checksDropped += elided.checksDropped;
+            stats_.regionsElided += elided.regionsRemoved;
+            if (elided.checksDropped > 0) {
+                simplifyTrivialPhis(f_);
+                deadCodeElim(f_);
+            }
+            pipelineCheckpoint(f_, "squeezer:lint_elision");
+        }
     }
 
     /** Make profile lookups work for cloned instructions. The profile
@@ -774,6 +865,8 @@ class SqueezerImpl
 
     std::set<Value *> candidates_;
     std::set<Instruction *> elided_;
+    std::set<const Value *> staticSafe_;
+    std::unique_ptr<KnownBitsAnalysis> kb_;
     std::map<Value *, Value *> narrowOf_;
     std::vector<Instruction *> pendingTruncs_;
     std::map<const Instruction *, const Instruction *> cloneTarget_;

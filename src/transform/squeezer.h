@@ -42,6 +42,14 @@ struct SqueezeOptions
     bool compareElimination = true;
     /** Bitmask elision: `and x, 0xff` as an exact slice move (RQ3). */
     bool bitmaskElision = true;
+    /**
+     * Known-bits static analysis: admits provably-narrow values as
+     * exact (check-free) candidates even without profile data, and
+     * runs the speculative-safety lint afterwards to drop checks the
+     * analysis proves can never fire (eliding whole regions when
+     * their last check disappears).
+     */
+    bool staticAnalysis = true;
 };
 
 /** Transformation statistics for the paper's ablation tables. */
@@ -52,6 +60,16 @@ struct SqueezeStats
     unsigned specTruncs = 0;     ///< Speculative truncates inserted.
     unsigned comparesEliminated = 0;
     unsigned bitmasksElided = 0;
+    /** Candidates admitted by known-bits proof (no profile needed). */
+    unsigned staticNarrowed = 0;
+    /** Speculative checks dropped by the lint (proven safe). */
+    unsigned checksDropped = 0;
+    /** Regions deleted after their last check was dropped. */
+    unsigned regionsElided = 0;
+    /** Lint verdict tallies (pre-elision classification). */
+    unsigned lintProvenSafe = 0;
+    unsigned lintProvenUnsafe = 0;
+    unsigned lintSpeculative = 0;
 
     SqueezeStats &
     operator+=(const SqueezeStats &o)
@@ -61,6 +79,12 @@ struct SqueezeStats
         specTruncs += o.specTruncs;
         comparesEliminated += o.comparesEliminated;
         bitmasksElided += o.bitmasksElided;
+        staticNarrowed += o.staticNarrowed;
+        checksDropped += o.checksDropped;
+        regionsElided += o.regionsElided;
+        lintProvenSafe += o.lintProvenSafe;
+        lintProvenUnsafe += o.lintProvenUnsafe;
+        lintSpeculative += o.lintSpeculative;
         return *this;
     }
 };

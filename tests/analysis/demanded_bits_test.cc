@@ -26,7 +26,10 @@ TEST(DemandedBits, MaskCapsDemand)
     DemandedBits db(*f);
     EXPECT_EQ(db.demandedWidth(sum), 8u);
     EXPECT_EQ(db.demandedMask(sum), 0xffu);
-    EXPECT_EQ(db.demandedWidth(masked), 32u);
+    // The mask result can only ever carry its low byte, so even the
+    // full-width store demand is capped by the possible bits.
+    EXPECT_EQ(db.demandedWidth(masked), 8u);
+    EXPECT_EQ(db.demandedMask(masked), 0xffu);
 }
 
 TEST(DemandedBits, TruncNarrowsDemand)
@@ -62,6 +65,38 @@ TEST(DemandedBits, RotatePatternDemandsFullWidth)
 
     DemandedBits db(*f);
     EXPECT_EQ(db.demandedWidth(x), 32u);
+    // The rotate itself still carries all 32 bits...
+    EXPECT_EQ(db.demandedWidth(rot), 32u);
+    // ...but the funnel halves only ever produce their constant
+    // positions: before the possible-bits cap, the or's full-width
+    // demand made both intermediates 32 bits wide.
+    EXPECT_EQ(db.demandedMask(hi), 0xffffffe0u);
+    EXPECT_EQ(db.demandedWidth(lo), 5u);
+    EXPECT_EQ(db.demandedMask(lo), 0x1fu);
+}
+
+TEST(DemandedBits, PossibleBitsCapZExtAndURem)
+{
+    Module m;
+    Global *g = m.addGlobal("out", 32, 2);
+    Function *f = m.addFunction(
+        "f", Type::voidTy(), {Type::i8(), Type::i32()});
+    IRBuilder b(&m);
+    BasicBlock *bb = f->addBlock("entry");
+    b.setInsertPoint(bb);
+    // zext i8 -> i32 can only populate the low byte.
+    Instruction *zx = b.zext(f->arg(0), Type::i32());
+    b.store(b.globalAddr(g), zx);
+    // x % 10 < 10: at most 4 result bits.
+    Instruction *rem = b.urem(f->arg(1), b.constI32(10));
+    b.store(b.globalAddr(g), rem);
+    b.ret();
+
+    DemandedBits db(*f);
+    EXPECT_EQ(db.demandedWidth(zx), 8u);
+    EXPECT_EQ(db.demandedMask(zx), 0xffu);
+    EXPECT_EQ(db.demandedWidth(rem), 4u);
+    EXPECT_EQ(db.demandedMask(rem), 0xfu);
 }
 
 TEST(DemandedBits, ShlShiftsDemandDown)

@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "../testutil.h"
+#include "analysis/known_bits.h"
+#include "interp/interpreter.h"
+
+namespace bitspec
+{
+namespace
+{
+
+/** Interval-only fact: [lo, hi] with no mask knowledge. */
+KnownBits
+range(uint64_t lo, uint64_t hi, unsigned bits)
+{
+    KnownBits k = KnownBits::top(bits);
+    k.lo = lo;
+    k.hi = hi;
+    return k.normalized(bits);
+}
+
+// ---------------------------------------------------------------------
+// Golden per-opcode transfer tests (no IR).
+// ---------------------------------------------------------------------
+
+TEST(KnownBits, ConstantAndTopFacts)
+{
+    KnownBits c = KnownBits::constant(0x2a, 32);
+    EXPECT_TRUE(c.isConstant());
+    EXPECT_EQ(c.lo, 0x2au);
+    EXPECT_EQ(c.one, 0x2au);
+    EXPECT_EQ(c.zero, ~0x2aULL);
+    EXPECT_EQ(c.upperBoundBits(), 6u);
+    EXPECT_TRUE(c.fits(8));
+
+    KnownBits t = KnownBits::top(8);
+    EXPECT_EQ(t.lo, 0u);
+    EXPECT_EQ(t.hi, 255u);
+    EXPECT_TRUE(t.fits(8));
+    EXPECT_FALSE(t.fits(7));
+}
+
+TEST(KnownBits, JoinKeepsCommonBitsAndHull)
+{
+    KnownBits j = kbJoin(KnownBits::constant(4, 32),
+                         KnownBits::constant(12, 32), 32);
+    EXPECT_EQ(j.lo, 4u);
+    EXPECT_EQ(j.hi, 12u);
+    EXPECT_EQ(j.one, 4u);              // Bit 2 set in both.
+    EXPECT_EQ(j.zero & 0x3u, 0x3u);    // Low bits clear in both.
+}
+
+TEST(KnownBits, AddGolden)
+{
+    // Disjoint masks: exact result.
+    KnownBits e = kbAdd(KnownBits::constant(0xf0, 32),
+                        KnownBits::constant(0x0f, 32), 32);
+    EXPECT_TRUE(e.isConstant());
+    EXPECT_EQ(e.lo, 0xffu);
+
+    // Non-wrapping intervals add exactly.
+    KnownBits r = kbAdd(range(0, 10, 32), range(0, 20, 32), 32);
+    EXPECT_EQ(r.lo, 0u);
+    EXPECT_EQ(r.hi, 30u);
+
+    // Possible wrap at the type width surrenders the interval.
+    KnownBits w = kbAdd(range(200, 250, 8), range(100, 120, 8), 8);
+    EXPECT_EQ(w.hi, 255u);
+    EXPECT_EQ(w.lo, 0u);
+}
+
+TEST(KnownBits, SubGolden)
+{
+    KnownBits e = kbSub(range(50, 60, 32), range(10, 20, 32), 32);
+    EXPECT_EQ(e.lo, 30u);
+    EXPECT_EQ(e.hi, 50u);
+
+    // Possible borrow: must fall back to the type range.
+    KnownBits b = kbSub(range(0, 5, 32), range(0, 10, 32), 32);
+    EXPECT_EQ(b.hi, 0xffffffffu);
+}
+
+TEST(KnownBits, MulGolden)
+{
+    KnownBits c = kbMul(KnownBits::constant(6, 32),
+                        KnownBits::constant(7, 32), 32);
+    EXPECT_TRUE(c.isConstant());
+    EXPECT_EQ(c.lo, 42u);
+
+    KnownBits r = kbMul(range(0, 10, 32), range(0, 10, 32), 32);
+    EXPECT_EQ(r.hi, 100u);
+
+    // Trailing zeros multiply out even with an unknown factor.
+    KnownBits z =
+        kbMul(KnownBits::constant(4, 32), KnownBits::top(32), 32);
+    EXPECT_EQ(z.zero & 0x3u, 0x3u);
+}
+
+TEST(KnownBits, ShiftGolden)
+{
+    KnownBits sl =
+        kbShl(range(1, 3, 32), KnownBits::constant(4, 32), 32);
+    EXPECT_EQ(sl.lo, 16u);
+    EXPECT_EQ(sl.hi, 48u);
+    EXPECT_EQ(sl.zero & 0xfu, 0xfu); // Shifted-in zeros.
+
+    // Unknown shift amount: nothing known.
+    EXPECT_EQ(kbShl(range(1, 3, 32), KnownBits::top(32), 32).hi,
+              0xffffffffu);
+
+    KnownBits sr = kbLShr(range(0x80, 0xff, 32),
+                          KnownBits::constant(4, 32), 32);
+    EXPECT_EQ(sr.lo, 8u);
+    EXPECT_EQ(sr.hi, 15u);
+
+    // LShr by an unknown amount still never grows the value.
+    EXPECT_EQ(kbLShr(range(0, 100, 32), KnownBits::top(32), 32).hi,
+              100u);
+
+    // AShr with a known-clear sign bit degrades to LShr.
+    KnownBits ar = kbAShr(range(0, 0xff, 32),
+                          KnownBits::constant(4, 32), 32);
+    EXPECT_EQ(ar.hi, 0xfu);
+}
+
+TEST(KnownBits, DivRemGolden)
+{
+    KnownBits d = kbUDiv(range(100, 200, 32),
+                         KnownBits::constant(10, 32), 32);
+    EXPECT_EQ(d.lo, 10u);
+    EXPECT_EQ(d.hi, 20u);
+
+    KnownBits r =
+        kbURem(KnownBits::top(32), KnownBits::constant(10, 32), 32);
+    EXPECT_EQ(r.hi, 9u);
+
+    // Dividend below the divisor: the remainder is the dividend.
+    KnownBits s =
+        kbURem(range(2, 5, 32), KnownBits::constant(10, 32), 32);
+    EXPECT_EQ(s.lo, 2u);
+    EXPECT_EQ(s.hi, 5u);
+}
+
+TEST(KnownBits, LogicGolden)
+{
+    KnownBits a =
+        kbAnd(KnownBits::top(32), KnownBits::constant(0xff, 32), 32);
+    EXPECT_TRUE(a.fits(8));
+
+    KnownBits o = kbOr(range(0, 0xf, 32), range(0, 0x7, 32), 32);
+    EXPECT_EQ(o.hi, 0xfu);
+
+    KnownBits x = kbXor(KnownBits::constant(0xa, 8),
+                        KnownBits::constant(0x6, 8), 8);
+    EXPECT_TRUE(x.isConstant());
+    EXPECT_EQ(x.lo, 0xau ^ 0x6u);
+}
+
+TEST(KnownBits, WidthChangeGolden)
+{
+    // Trunc of an over-wide value keeps the surviving mask bits.
+    KnownBits t = kbTrunc(KnownBits::constant(0x1ff, 32), 8);
+    EXPECT_TRUE(t.isConstant());
+    EXPECT_EQ(t.lo, 0xffu);
+
+    KnownBits tf = kbTrunc(range(0, 100, 32), 8);
+    EXPECT_EQ(tf.hi, 100u);
+
+    KnownBits z = kbZExt(KnownBits::top(8), 8, 32);
+    EXPECT_TRUE(z.fits(8));
+
+    // SExt: non-negative passes through, known-negative is exact,
+    // unknown sign surrenders.
+    EXPECT_EQ(kbSExt(range(0, 0x3f, 8), 8, 32).hi, 0x3fu);
+    KnownBits sn = kbSExt(KnownBits::constant(0x80, 8), 8, 32);
+    EXPECT_TRUE(sn.isConstant());
+    EXPECT_EQ(sn.lo, 0xffffff80u);
+    EXPECT_EQ(kbSExt(KnownBits::top(8), 8, 32).hi, 0xffffffffu);
+}
+
+TEST(KnownBits, SpeculativeTransfersAreTighter)
+{
+    // Spec add on the non-misspeculating path has no carry out: the
+    // plain transfer must surrender to [0,255], the speculative one
+    // keeps the true-sum lower bound.
+    KnownBits a = range(100, 200, 8), b = range(100, 150, 8);
+    EXPECT_EQ(kbAdd(a, b, 8).lo, 0u);
+    KnownBits sa = kbSpecAdd(a, b, 8);
+    EXPECT_EQ(sa.lo, 200u);
+    EXPECT_EQ(sa.hi, 255u);
+
+    // At host width the spec transfer must not wrap internally.
+    EXPECT_EQ(kbSpecAdd(KnownBits::top(64), KnownBits::top(64), 64).hi,
+              ~0ULL);
+
+    // Spec sub: no borrow, so the minuend bounds the result.
+    KnownBits ss = kbSpecSub(range(0, 50, 8), range(0, 60, 8), 8);
+    EXPECT_EQ(ss.hi, 50u);
+    EXPECT_EQ(kbSub(range(0, 50, 8), range(0, 60, 8), 8).hi, 255u);
+
+    // Spec trunc reproduces its operand's bounds.
+    KnownBits st = kbSpecTrunc(range(10, 300, 32), 8);
+    EXPECT_EQ(st.lo, 10u);
+    EXPECT_EQ(st.hi, 255u);
+    EXPECT_EQ(kbTrunc(range(10, 300, 32), 8).lo, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Function-level fixed point.
+// ---------------------------------------------------------------------
+
+TEST(KnownBitsAnalysis, MaskedArithmeticBounds)
+{
+    Module m;
+    Function *f =
+        m.addFunction("f", Type::i32(), {Type::i32(), Type::i32()});
+    IRBuilder b(&m);
+    b.setInsertPoint(f->addBlock("entry"));
+    Instruction *x = b.band(f->arg(0), b.constI32(0xff));
+    Instruction *y = b.band(f->arg(1), b.constI32(0x7f));
+    Instruction *s = b.add(x, y);
+    Instruction *cmp = b.icmp(CmpPred::ULT, x, b.constI32(256));
+    b.ret(s);
+
+    KnownBitsAnalysis kb(*f);
+    EXPECT_TRUE(kb.fits(x, 8));
+    EXPECT_TRUE(kb.fits(y, 7));
+    EXPECT_EQ(kb.upperBound(s), 255u + 127u);
+    EXPECT_FALSE(kb.fits(s, 8));
+    // The compare is decided by the range alone.
+    KnownBits c = kb.known(cmp);
+    EXPECT_TRUE(c.isConstant());
+    EXPECT_EQ(c.lo, 1u);
+}
+
+TEST(KnownBitsAnalysis, LoopCounterWidensToTop)
+{
+    // for (i = 0; i < n; ++i): branch-insensitive analysis cannot
+    // bound i, so the widening must terminate at the type range.
+    Module m;
+    Function *f = test::buildSumTo(m);
+    KnownBitsAnalysis kb(*f);
+    Instruction *i = f->blocks()[1]->phis()[0];
+    EXPECT_EQ(kb.known(i).lo, 0u);
+    EXPECT_EQ(kb.known(i).hi, 0xffffffffu);
+}
+
+TEST(KnownBitsAnalysis, MaskSurvivesWidening)
+{
+    // j = phi(0, (j + 3) & 0xff): the interval grows every pass and is
+    // widened away, but the and-mask pins the fact at [0, 255].
+    Module m;
+    Function *f = m.addFunction("f", Type::i32(), {Type::i32()});
+    IRBuilder b(&m);
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *body = f->addBlock("body");
+    BasicBlock *exit = f->addBlock("exit");
+
+    b.setInsertPoint(entry);
+    b.br(body);
+
+    b.setInsertPoint(body);
+    Instruction *j = b.phi(Type::i32(), "j");
+    Instruction *step = b.add(j, b.constI32(3));
+    Instruction *masked = b.band(step, b.constI32(0xff));
+    Instruction *cmp = b.icmp(CmpPred::ULT, masked, f->arg(0));
+    b.condBr(cmp, body, exit);
+    IRBuilder::addIncoming(j, b.constI32(0), entry);
+    IRBuilder::addIncoming(j, masked, body);
+
+    b.setInsertPoint(exit);
+    b.ret(j);
+
+    KnownBitsAnalysis kb(*f);
+    EXPECT_TRUE(kb.fits(j, 8));
+    EXPECT_TRUE(kb.fits(masked, 8));
+    // The unmasked step can reach 258: 9 bits, not 8.
+    EXPECT_EQ(kb.known(step).upperBoundBits(), 9u);
+}
+
+// ---------------------------------------------------------------------
+// Randomized property test: every interpreter-observed value must
+// respect the static fact of its instruction.
+// ---------------------------------------------------------------------
+
+TEST(KnownBitsAnalysis, RandomProgramsRespectStaticBounds)
+{
+    for (uint64_t seed = 1; seed <= 12; ++seed) {
+        std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ULL);
+        auto pick = [&](uint64_t n) { return rng() % n; };
+
+        Module m;
+        Function *f =
+            m.addFunction("f", Type::i32(), {Type::i32(), Type::i32()});
+        IRBuilder b(&m);
+        b.setInsertPoint(f->addBlock("entry"));
+
+        std::vector<Value *> pool = {f->arg(0), f->arg(1)};
+        Value *last = f->arg(0);
+        for (int n = 0; n < 20; ++n) {
+            Value *x = pool[pick(pool.size())];
+            Value *y = pool[pick(pool.size())];
+            Instruction *inst = nullptr;
+            switch (pick(10)) {
+              case 0: inst = b.add(x, y); break;
+              case 1: inst = b.sub(x, y); break;
+              case 2: inst = b.mul(x, y); break;
+              case 3: inst = b.band(x, y); break;
+              case 4: inst = b.bor(x, y); break;
+              case 5: inst = b.bxor(x, y); break;
+              case 6:
+                inst = b.shl(x, b.constI32(pick(32)));
+                break;
+              case 7:
+                inst = b.lshr(x, b.constI32(pick(32)));
+                break;
+              case 8:
+                inst = b.urem(x, b.constI32(1 + pick(1000)));
+                break;
+              case 9:
+                // Round-trip through the slice width.
+                inst = b.zext(b.trunc(x, Type::i8()), Type::i32());
+                break;
+            }
+            if (pick(4) == 0)
+                pool.push_back(b.constI32(
+                    static_cast<uint32_t>(rng())));
+            pool.push_back(inst);
+            last = inst;
+        }
+        b.ret(last);
+
+        KnownBitsAnalysis kb(*f);
+        Interpreter interp(m);
+        size_t checked = 0;
+        interp.onAssign = [&](const Instruction *inst, uint64_t v) {
+            KnownBits k = kb.known(inst);
+            v &= lowMask(inst->type().bits);
+            EXPECT_GE(v, k.lo) << "seed " << seed << ": " << k.str();
+            EXPECT_LE(v, k.hi) << "seed " << seed << ": " << k.str();
+            EXPECT_EQ(v & k.zero, 0u)
+                << "seed " << seed << ": " << k.str();
+            EXPECT_EQ(v & k.one, k.one)
+                << "seed " << seed << ": " << k.str();
+            ++checked;
+        };
+        for (int run = 0; run < 4; ++run) {
+            interp.reset();
+            interp.run("f", {rng() & 0xffffffffULL,
+                             rng() & 0xffffffffULL});
+        }
+        EXPECT_GT(checked, 0u) << "seed " << seed;
+    }
+}
+
+} // namespace
+} // namespace bitspec

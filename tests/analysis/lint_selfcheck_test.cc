@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Lint self-check over the full MiBench-style suite: squeeze every
+ * workload with the static analysis enabled and snapshot the lint
+ * verdict tallies. Any change to the known-bits transfer functions,
+ * the lint classification rules or the squeezer's candidate admission
+ * shows up here as a diff against the baked counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <string>
+
+#include "analysis/lint.h"
+#include "frontend/irgen.h"
+#include "profile/bitwidth_profile.h"
+#include "transform/expander.h"
+#include "transform/squeezer.h"
+#include "workloads/workload.h"
+
+namespace bitspec
+{
+namespace
+{
+
+struct Snapshot
+{
+    unsigned provenSafe;
+    unsigned provenUnsafe;
+    unsigned speculative;
+    unsigned checksDropped;
+    unsigned regionsElided;
+};
+
+/** Baked verdict counts per workload (squeeze defaults, seed 0). */
+const std::map<std::string, Snapshot> &
+expectedSnapshots()
+{
+    static const std::map<std::string, Snapshot> table = {
+        // name              safe unsafe spec dropped elided
+        {"CRC32",            {8, 0, 2, 8, 7}},
+        {"FFT",              {11, 0, 16, 11, 6}},
+        {"basicmath",        {9, 0, 10, 9, 1}},
+        {"bitcount",         {30, 0, 27, 30, 30}},
+        {"blowfish",         {5, 0, 4, 5, 3}},
+        {"dijkstra",         {24, 0, 22, 24, 24}},
+        {"patricia",         {0, 0, 14, 0, 0}},
+        {"qsort",            {6, 0, 50, 6, 6}},
+        {"rijndael",         {78, 0, 43, 78, 68}},
+        {"sha",              {7, 0, 19, 7, 6}},
+        {"stringsearch",     {20, 0, 42, 20, 19}},
+        {"susan-edges",      {5, 0, 37, 5, 4}},
+        {"susan-corners",    {8, 0, 47, 8, 7}},
+        {"susan-smoothing",  {5, 0, 32, 5, 3}},
+    };
+    return table;
+}
+
+class LintSelfCheck : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(LintSelfCheck, VerdictCountsMatchSnapshot)
+{
+    const Workload &w = getWorkload(GetParam());
+    auto mod = compileSource(w.source);
+    w.setInput(*mod, 0);
+    expandModule(*mod, ExpanderOptions{});
+
+    BitwidthProfile profile;
+    profile.profileRun(*mod);
+    SqueezeStats st = squeezeModule(*mod, profile, SqueezeOptions{});
+
+    // Elision is bounded by what was proven safe.
+    EXPECT_LE(st.checksDropped, st.lintProvenSafe);
+
+    // Re-linting the squeezed module must account for every remaining
+    // speculative site: one finding per site, tallies consistent.
+    LintReport post = lintModule(*mod);
+    EXPECT_EQ(post.findings.size(), post.provenSafe +
+                                        post.provenUnsafe +
+                                        post.speculative);
+    unsigned spec_sites = 0;
+    for (const auto &f : mod->functions())
+        for (const auto &bb : f->blocks())
+            for (const auto &inst : bb->insts())
+                spec_sites += inst->isSpeculative() ? 1 : 0;
+    EXPECT_EQ(post.findings.size(), spec_sites);
+
+    auto it = expectedSnapshots().find(GetParam());
+    ASSERT_NE(it, expectedSnapshots().end())
+        << "no snapshot for " << GetParam();
+    const Snapshot &want = it->second;
+    EXPECT_EQ(st.lintProvenSafe, want.provenSafe)
+        << GetParam() << " actual {" << st.lintProvenSafe << ", "
+        << st.lintProvenUnsafe << ", " << st.lintSpeculative << ", "
+        << st.checksDropped << ", " << st.regionsElided << "}";
+    EXPECT_EQ(st.lintProvenUnsafe, want.provenUnsafe);
+    EXPECT_EQ(st.lintSpeculative, want.speculative);
+    EXPECT_EQ(st.checksDropped, want.checksDropped);
+    EXPECT_EQ(st.regionsElided, want.regionsElided);
+}
+
+std::vector<std::string>
+suiteNames()
+{
+    std::vector<std::string> names;
+    for (const Workload &w : mibenchSuite())
+        names.push_back(w.name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, LintSelfCheck,
+                         ::testing::ValuesIn(suiteNames()),
+                         [](const auto &info) {
+                             std::string s = info.param;
+                             for (char &c : s)
+                                 if (!isalnum(static_cast<unsigned char>(c)))
+                                     c = '_';
+                             return s;
+                         });
+
+} // namespace
+} // namespace bitspec

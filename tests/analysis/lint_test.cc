@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../testutil.h"
+#include "analysis/lint.h"
+#include "analysis/verifier.h"
+
+namespace bitspec
+{
+namespace
+{
+
+/**
+ * Hand-built speculative function with one region:
+ *
+ *   entry:  x = a & 0xff; big = a | 0x100; br spec
+ *   spec:   ts = trunc!spec x    -> proven safe   (x <= 255)
+ *           tu = trunc!spec big  -> proven unsafe (big >= 256)
+ *           tm = trunc!spec a    -> speculative   (a unbounded)
+ *           ld = load!spec i8    -> speculative   (memory unbounded)
+ *           ex = trunc x         -> exact slice, no check
+ *           br exit
+ *   hand:   br exit              (region handler)
+ *   exit:   ret 0
+ */
+struct SpecFixture
+{
+    Module m;
+    Function *f;
+    Instruction *ts, *tu, *tm, *ld;
+
+    explicit SpecFixture(bool unsafe_sites = true)
+    {
+        f = m.addFunction("f", Type::i32(), {Type::i32()});
+        IRBuilder b(&m);
+        BasicBlock *entry = f->addBlock("entry");
+        BasicBlock *spec = f->addBlock("spec");
+        BasicBlock *hand = f->addBlock("hand");
+        BasicBlock *exit = f->addBlock("exit");
+
+        b.setInsertPoint(entry);
+        Instruction *x = b.band(f->arg(0), b.constI32(0xff));
+        Instruction *big = b.bor(f->arg(0), b.constI32(0x100));
+        b.br(spec);
+
+        b.setInsertPoint(spec);
+        ts = b.trunc(x, Type::i8());
+        ts->setSpeculative(true);
+        ts->setSpecOrigBits(32);
+        tu = tm = ld = nullptr;
+        if (unsafe_sites) {
+            b.setCurLine(42);
+            tu = b.trunc(big, Type::i8());
+            tu->setSpeculative(true);
+            tu->setSpecOrigBits(32);
+            b.setCurLine(0);
+            tm = b.trunc(f->arg(0), Type::i8());
+            tm->setSpeculative(true);
+            tm->setSpecOrigBits(32);
+            ld = b.load(Type::i8(), b.constI32(64));
+            ld->setSpeculative(true);
+            ld->setSpecOrigBits(8);
+            b.trunc(x, Type::i8()); // Exact slice, no check.
+        }
+        b.br(exit);
+
+        b.setInsertPoint(hand);
+        b.br(exit);
+
+        b.setInsertPoint(exit);
+        b.ret(b.constI32(0));
+
+        SpecRegion *sr = f->addSpecRegion();
+        sr->blocks.push_back(spec);
+        sr->handler = hand;
+    }
+};
+
+LintVerdict
+verdictOf(const LintReport &r, const Instruction *inst)
+{
+    for (const LintFinding &fd : r.findings)
+        if (fd.inst == inst)
+            return fd.verdict;
+    ADD_FAILURE() << "no finding for instruction";
+    return LintVerdict::Speculative;
+}
+
+TEST(Lint, ClassifiesEverySpeculativeSite)
+{
+    SpecFixture fx;
+    ASSERT_TRUE(verifyFunction(*fx.f).empty());
+
+    LintReport r = lintFunction(*fx.f);
+    ASSERT_EQ(r.findings.size(), 4u);
+    EXPECT_EQ(r.provenSafe, 1u);
+    EXPECT_EQ(r.provenUnsafe, 1u);
+    EXPECT_EQ(r.speculative, 2u);
+    EXPECT_EQ(r.exactSlices, 1u);
+
+    EXPECT_EQ(verdictOf(r, fx.ts), LintVerdict::ProvenSafe);
+    EXPECT_EQ(verdictOf(r, fx.tu), LintVerdict::ProvenUnsafe);
+    EXPECT_EQ(verdictOf(r, fx.tm), LintVerdict::Speculative);
+    EXPECT_EQ(verdictOf(r, fx.ld), LintVerdict::Speculative);
+
+    // Diagnostics carry location and reason.
+    for (const LintFinding &fd : r.findings) {
+        if (fd.inst == fx.tu) {
+            EXPECT_EQ(fd.srcLine, 42);
+            EXPECT_NE(fd.message.find("line 42"), std::string::npos);
+            EXPECT_NE(fd.message.find("proven-unsafe"),
+                      std::string::npos);
+            EXPECT_NE(fd.message.find("f:spec"), std::string::npos);
+        }
+    }
+}
+
+TEST(Lint, ApplyDropsOnlyProvenSafeChecks)
+{
+    SpecFixture fx;
+    LintReport r = lintFunction(*fx.f);
+    LintElisionStats st = applyLintVerdicts(*fx.f, r);
+
+    EXPECT_EQ(st.checksDropped, 1u);
+    EXPECT_EQ(st.regionsRemoved, 0u); // Other checks keep the region.
+    EXPECT_FALSE(fx.ts->isSpeculative());
+    EXPECT_TRUE(fx.tu->isSpeculative());
+    EXPECT_TRUE(fx.tm->isSpeculative());
+    EXPECT_TRUE(fx.ld->isSpeculative());
+    ASSERT_EQ(fx.f->specRegions().size(), 1u);
+    EXPECT_TRUE(verifyFunction(*fx.f).empty());
+
+    // Idempotent: re-applying the same report changes nothing.
+    LintElisionStats again = applyLintVerdicts(*fx.f, r);
+    EXPECT_EQ(again.checksDropped, 0u);
+}
+
+TEST(Lint, ElidingLastCheckRemovesRegionAndHandler)
+{
+    SpecFixture fx(/*unsafe_sites=*/false);
+    ASSERT_TRUE(verifyFunction(*fx.f).empty());
+
+    LintReport r = lintFunction(*fx.f);
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.provenSafe, 1u);
+
+    LintElisionStats st = applyLintVerdicts(*fx.f, r);
+    EXPECT_EQ(st.checksDropped, 1u);
+    EXPECT_EQ(st.regionsRemoved, 1u);
+    EXPECT_TRUE(fx.f->specRegions().empty());
+
+    // The orphaned handler died with the unreachable-block sweep.
+    bool handler_alive = false;
+    for (const auto &bb : fx.f->blocks())
+        handler_alive |= bb->name() == "hand";
+    EXPECT_FALSE(handler_alive);
+    EXPECT_TRUE(verifyFunction(*fx.f).empty());
+}
+
+} // namespace
+} // namespace bitspec
