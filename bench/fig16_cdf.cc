@@ -13,9 +13,9 @@
  */
 
 #include <algorithm>
-#include <cstdlib>
 
 #include "../bench/common.h"
+#include "support/env.h"
 
 using namespace bitspec;
 using namespace bitspec::bench;
@@ -26,13 +26,8 @@ namespace
 unsigned
 gridSize()
 {
-    if (const char *env = std::getenv("BITSPEC_FIG16_IMAGES")) {
-        char *end = nullptr;
-        unsigned long n = std::strtoul(env, &end, 10);
-        if (end && *end == '\0' && n >= 2 && n <= 50)
-            return static_cast<unsigned>(n);
-    }
-    return 6; // Paper uses 50; scaled down by default.
+    // Paper uses 50; scaled down by default.
+    return env::getUnsigned("BITSPEC_FIG16_IMAGES", 6, 2, 50);
 }
 
 } // namespace

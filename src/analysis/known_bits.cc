@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "analysis/cfg.h"
+#include "obs/trace.h"
 
 namespace bitspec
 {
@@ -439,6 +440,8 @@ foldCompare(CmpPred pred, const KnownBits &a, const KnownBits &b)
 
 KnownBitsAnalysis::KnownBitsAnalysis(Function &f)
 {
+    trace::Span span("analysis.known_bits", "compile");
+    span.arg("function", f.name());
     std::vector<const Instruction *> order;
     for (BasicBlock *bb : reversePostOrder(f))
         for (const auto &inst : bb->insts())

@@ -2,6 +2,7 @@
 
 #include "analysis/cfg.h"
 #include "analysis/known_bits.h"
+#include "obs/trace.h"
 #include "support/bits.h"
 
 namespace bitspec
@@ -146,9 +147,13 @@ lintFunction(Function &f)
 LintReport
 lintModule(Module &m)
 {
+    trace::Span span("analysis.lint", "compile");
     LintReport report;
     for (const auto &f : m.functions())
         report += lintFunction(*f);
+    span.arg("proven_safe", std::to_string(report.provenSafe));
+    span.arg("proven_unsafe", std::to_string(report.provenUnsafe));
+    span.arg("speculative", std::to_string(report.speculative));
     return report;
 }
 

@@ -1,10 +1,11 @@
 #include "analysis/pipeline.h"
 
 #include <cstdio>
-#include <cstdlib>
 
 #include "analysis/lint.h"
 #include "analysis/verifier.h"
+#include "obs/trace.h"
+#include "support/env.h"
 #include "support/error.h"
 
 namespace bitspec
@@ -18,11 +19,7 @@ int forced_ = -1;
 bool
 envEnabled()
 {
-    static const bool on = [] {
-        const char *v = std::getenv("BITSPEC_VERIFY_EACH");
-        return v != nullptr && *v != '\0' &&
-               !(v[0] == '0' && v[1] == '\0');
-    }();
+    static const bool on = env::getBool("BITSPEC_VERIFY_EACH", false);
     return on;
 }
 
@@ -56,6 +53,8 @@ pipelineCheckpoint(Module &m, const char *stage)
 {
     if (!pipelineVerifyEnabled())
         return;
+    trace::Span span("verify.checkpoint", "compile");
+    span.arg("stage", stage);
     verifyOrDie(m, stage);
     reportUnsafe(lintModule(m), stage);
 }

@@ -4,6 +4,7 @@
 #include "backend/layout.h"
 #include "backend/mir_verifier.h"
 #include "backend/regalloc.h"
+#include "obs/trace.h"
 #include "support/error.h"
 
 namespace bitspec
@@ -12,6 +13,7 @@ namespace bitspec
 CompiledProgram
 compileModule(Module &m, TargetISA isa)
 {
+    trace::Span span("backend.compile", "compile");
     m.layoutGlobals();
 
     std::map<const Function *, int> ids;
@@ -28,18 +30,37 @@ compileModule(Module &m, TargetISA isa)
     CompiledProgram out;
     std::vector<MachFunction> funcs;
     for (const auto &f : m.functions()) {
-        MachFunction mf = selectFunction(*f, ids[f.get()], isa, ids);
-        BackendStats fs = allocateRegisters(mf);
-        out.stats.staticSpillLoads += fs.staticSpillLoads;
-        out.stats.staticSpillStores += fs.staticSpillStores;
-        out.stats.staticCopies += fs.staticCopies;
-        out.stats.spilledVRegs += fs.spilledVRegs;
-        out.stats.skeletonInsts += layoutFunction(mf);
-        mirVerifyOrDie(mf, "after layout of " + mf.name);
+        MachFunction mf = [&] {
+            trace::Span s("backend.isel", "compile");
+            s.arg("function", f->name());
+            return selectFunction(*f, ids[f.get()], isa, ids);
+        }();
+        {
+            trace::Span s("backend.regalloc", "compile");
+            s.arg("function", f->name());
+            BackendStats fs = allocateRegisters(mf);
+            out.stats.staticSpillLoads += fs.staticSpillLoads;
+            out.stats.staticSpillStores += fs.staticSpillStores;
+            out.stats.staticCopies += fs.staticCopies;
+            out.stats.spilledVRegs += fs.spilledVRegs;
+        }
+        {
+            trace::Span s("backend.layout", "compile");
+            s.arg("function", f->name());
+            out.stats.skeletonInsts += layoutFunction(mf);
+        }
+        {
+            trace::Span s("backend.mir_verify", "compile");
+            s.arg("function", f->name());
+            mirVerifyOrDie(mf, "after layout of " + mf.name);
+        }
         funcs.push_back(std::move(mf));
     }
 
-    out.program = linkProgram(std::move(funcs), ids[main_fn]);
+    {
+        trace::Span s("backend.link", "compile");
+        out.program = linkProgram(std::move(funcs), ids[main_fn]);
+    }
     out.stats.staticInsts =
         static_cast<unsigned>(out.program.flat.size());
     return out;

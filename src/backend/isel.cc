@@ -61,12 +61,19 @@ class ISel
             blockId_[bb.get()] = mb.id;
             mf_.blocks.push_back(std::move(mb));
         }
-        // Region membership (SMIR propagation, §3.3.1).
+        // Region membership (SMIR propagation, §3.3.1). Region id and
+        // source line ride along for misspeculation attribution.
         for (const auto &sr : f_.specRegions()) {
             int hid = blockId_.at(sr->handler);
             mf_.blocks[hid].isHandler = true;
-            for (BasicBlock *member : sr->blocks)
-                mf_.blocks[blockId_.at(member)].handlerBlock = hid;
+            mf_.blocks[hid].regionId = sr->id;
+            mf_.blocks[hid].regionSrcLine = sr->srcLine;
+            for (BasicBlock *member : sr->blocks) {
+                MachBlock &mb = mf_.blocks[blockId_.at(member)];
+                mb.handlerBlock = hid;
+                mb.regionId = sr->id;
+                mb.regionSrcLine = sr->srcLine;
+            }
         }
 
         for (auto &bb : f_.blocks())

@@ -33,6 +33,12 @@ struct MachBlock
     int handlerBlock = -1;
     /** True when this block is a misspeculation handler. */
     bool isHandler = false;
+    /** IR SpecRegion id this block belongs to (member blocks) or
+     *  serves (handler blocks); -1 outside any region. Carried from
+     *  the squeezer for misspeculation attribution. */
+    int regionId = -1;
+    /** Source line of the region (SpecRegion::srcLine); 0 unknown. */
+    int regionSrcLine = 0;
 
     /** Successor block ids from the trailing branch instructions. */
     std::vector<int>

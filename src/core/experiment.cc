@@ -1,7 +1,10 @@
 #include "core/experiment.h"
 
+#include <chrono>
 #include <exception>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/error.h"
 #include "support/str.h"
 
@@ -110,6 +113,7 @@ ExperimentRunner::getOrBuild(const Workload &w,
     std::promise<std::shared_ptr<CachedSystem>> promise;
     std::shared_future<std::shared_ptr<CachedSystem>> fut;
     bool builder = false;
+    bool inflight = false;
     {
         std::lock_guard<std::mutex> lock(cacheMu_);
         auto it = cache_.find(key);
@@ -121,17 +125,48 @@ ExperimentRunner::getOrBuild(const Workload &w,
         } else {
             fut = it->second;
             ++stats_.cacheHits;
+            inflight = fut.wait_for(std::chrono::seconds(0)) !=
+                       std::future_status::ready;
+            if (inflight)
+                ++stats_.inflightWaits;
         }
     }
 
+    MetricsRegistry &reg = MetricsRegistry::global();
     if (builder) {
+        reg.counter("experiment.cache.misses", {{"workload", w.name}})
+            .add();
+        trace::instant("cache.miss", "experiment",
+                       {{"workload", w.name}});
         try {
-            promise.set_value(std::make_shared<CachedSystem>(
-                w, config, profile_seed));
+            auto sys = std::make_shared<CachedSystem>(w, config,
+                                                      profile_seed);
+            // Absorb the build's squeezer stats once per compile (runs
+            // reusing this System do not re-count them).
+            const SqueezeStats &sq = sys->sys.squeezeStats();
+            MetricsRegistry::Labels wl = {{"workload", w.name}};
+            reg.counter("squeeze.narrowed", wl).add(sq.narrowed);
+            reg.counter("squeeze.regions", wl).add(sq.regions);
+            reg.counter("squeeze.checks_dropped", wl)
+                .add(sq.checksDropped);
+            reg.counter("lint.proven_safe", wl).add(sq.lintProvenSafe);
+            reg.counter("lint.proven_unsafe", wl)
+                .add(sq.lintProvenUnsafe);
+            promise.set_value(std::move(sys));
         } catch (...) {
             // Every cell sharing this key sees the build failure.
             promise.set_exception(std::current_exception());
         }
+    } else {
+        reg.counter("experiment.cache.hits", {{"workload", w.name}})
+            .add();
+        if (inflight)
+            reg.counter("experiment.cache.inflight_waits",
+                        {{"workload", w.name}})
+                .add();
+        trace::instant("cache.hit", "experiment",
+                       {{"workload", w.name},
+                        {"inflight", inflight ? "1" : "0"}});
     }
     return fut.get();
 }
@@ -140,13 +175,34 @@ RunResult
 ExperimentRunner::runCell(const ExperimentCell &cell)
 {
     bsAssert(cell.workload != nullptr, "experiment cell w/o workload");
+    // Worker threads are owned by the support-layer pool, which cannot
+    // depend on obs; name their trace lanes on first use instead.
+    trace::nameThisThread("worker");
+    trace::Span span("experiment.cell", "experiment");
+    span.arg("workload", cell.workload->name);
+    span.arg("squeeze", cell.config.squeeze ? "1" : "0");
+    span.arg("run_seed", std::to_string(cell.runSeed));
     std::shared_ptr<CachedSystem> cached =
         getOrBuild(*cell.workload, cell.config, cell.profileSeed);
     const Workload &w = *cell.workload;
     uint64_t run_seed = cell.runSeed;
-    std::lock_guard<std::mutex> lock(cached->runMu);
-    return cached->sys.run(
-        [&w, run_seed](Module &m) { w.setInput(m, run_seed); });
+    RunResult out;
+    {
+        std::lock_guard<std::mutex> lock(cached->runMu);
+        out = cached->sys.run(
+            [&w, run_seed](Module &m) { w.setInput(m, run_seed); });
+    }
+
+    MetricsRegistry &reg = MetricsRegistry::global();
+    MetricsRegistry::Labels wl = {{"workload", w.name}};
+    reg.counter("run.cells", wl).add();
+    reg.counter("run.instructions", wl).add(out.counters.instructions);
+    reg.counter("run.cycles", wl).add(out.counters.cycles);
+    reg.counter("run.misspeculations", wl)
+        .add(out.counters.misspeculations);
+    reg.histogram("run.energy_pj", wl).record(out.totalEnergy);
+    reg.histogram("run.epi_pj", wl).record(out.epi);
+    return out;
 }
 
 std::vector<RunResult>

@@ -54,6 +54,9 @@ struct ExperimentStats
     uint64_t cells = 0;        ///< Cells executed.
     uint64_t systemsBuilt = 0; ///< Cache misses (compiles).
     uint64_t cacheHits = 0;    ///< Cells served by a cached System.
+    /** Cache hits that blocked on a build still in flight (the
+     *  shared_future was not ready when the requester arrived). */
+    uint64_t inflightWaits = 0;
 };
 
 /**

@@ -4,6 +4,7 @@
 #include "analysis/verifier.h"
 #include "frontend/irgen.h"
 #include "interp/interpreter.h"
+#include "obs/trace.h"
 #include "profile/bitwidth_profile.h"
 
 namespace bitspec
@@ -59,6 +60,10 @@ System::System(const std::string &source, const SystemConfig &config,
                const std::vector<uint64_t> &train_args)
     : config_(config)
 {
+    trace::Span span("system.build", "compile");
+    span.arg("squeeze", config_.squeeze ? "1" : "0");
+    span.arg("isa", config_.isa == TargetISA::BitSpec ? "bitspec"
+                                                      : "baseline");
     module_ = compileSource(source);
     if (train_input)
         train_input(*module_);
@@ -101,12 +106,22 @@ RunResult
 System::run(const std::function<void(Module &)> &run_input,
             const std::vector<uint32_t> &args)
 {
+    return run(run_input, args, nullptr);
+}
+
+RunResult
+System::run(const std::function<void(Module &)> &run_input,
+            const std::vector<uint32_t> &args, AttributionSink *attr)
+{
+    trace::Span span("system.run", "execute");
     for (auto &[g, bytes] : globalSnapshot_)
         g->setData(bytes);
     if (run_input)
         run_input(*module_);
 
     Core core(compiled_.program, *module_);
+    if (attr)
+        core.setAttribution(attr);
     RunResult out;
     out.returnValue = core.run(args);
     out.outputChecksum = core.outputChecksum();

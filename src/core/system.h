@@ -93,9 +93,16 @@ class System
     RunResult run(const std::function<void(Module &)> &run_input = {},
                   const std::vector<uint32_t> &args = {});
 
+    /** As above, with a misspeculation-attribution recorder attached
+     *  to the core for this run (nullptr = no attribution). */
+    RunResult run(const std::function<void(Module &)> &run_input,
+                  const std::vector<uint32_t> &args,
+                  AttributionSink *attr);
+
     Module &module() { return *module_; }
     const MachProgram &program() const { return compiled_.program; }
     const SystemConfig &config() const { return config_; }
+    const SqueezeStats &squeezeStats() const { return squeezeStats_; }
 
     /** Dynamic IR instructions of the training run (Fig. 3's
      *  IR-level series). */

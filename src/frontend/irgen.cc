@@ -9,6 +9,7 @@
 #include "ir/builder.h"
 #include "analysis/verifier.h"
 #include "frontend/parser.h"
+#include "obs/trace.h"
 #include "support/error.h"
 #include "support/str.h"
 #include "transform/simplify.h"
@@ -874,15 +875,30 @@ generateIR(const ast::Program &program)
 std::unique_ptr<Module>
 compileSource(const std::string &source)
 {
-    ast::Program prog = parseProgram(source);
-    auto module = generateIR(prog);
-    for (const auto &f : module->functions()) {
-        simplifyTrivialPhis(*f);
-        removeUnreachableBlocks(*f);
-        simplifyTrivialPhis(*f);
-        deadCodeElim(*f);
+    trace::Span span("frontend.compile", "compile");
+    ast::Program prog = [&] {
+        trace::Span s("frontend.parse", "compile");
+        return parseProgram(source);
+    }();
+    auto module = [&] {
+        trace::Span s("frontend.irgen", "compile");
+        return generateIR(prog);
+    }();
+    {
+        trace::Span s("frontend.cleanup", "compile");
+        for (const auto &f : module->functions()) {
+            simplifyTrivialPhis(*f);
+            removeUnreachableBlocks(*f);
+            simplifyTrivialPhis(*f);
+            deadCodeElim(*f);
+        }
     }
-    verifyOrDie(*module, "after front-end lowering");
+    {
+        trace::Span s("frontend.verify", "compile");
+        verifyOrDie(*module, "after front-end lowering");
+    }
+    span.arg("functions",
+             std::to_string(module->functions().size()));
     return module;
 }
 

@@ -5,6 +5,7 @@
 
 #include "analysis/known_bits.h"
 #include "interp/decode.h"
+#include "obs/trace.h"
 #include "support/bits.h"
 #include "support/error.h"
 #include "support/str.h"
@@ -143,6 +144,8 @@ Interpreter::decodedFor(Function *f)
     auto it = decodeCache_.find(f);
     if (it != decodeCache_.end())
         return *it->second;
+    trace::Span span("interp.decode", "execute");
+    span.arg("function", f->name());
     auto df = DecodedFunction::decode(
         f, static_cast<uint32_t>(profInst_.size()));
     for (const Instruction *inst : df->profiledInsts())
@@ -214,6 +217,8 @@ Interpreter::takeValueProfile()
 uint64_t
 Interpreter::run(const std::string &fn, const std::vector<uint64_t> &args)
 {
+    trace::Span span("interp.run", "execute");
+    span.arg("function", fn);
     Function *f = module_.getFunction(fn);
     if (!f)
         fatal("no such function: " + fn);

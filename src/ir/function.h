@@ -34,6 +34,17 @@ struct SpecRegion
     std::vector<BasicBlock *> blocks;
     /** Entered iff a member instruction misspeculates. */
     BasicBlock *handler = nullptr;
+    /**
+     * Stable per-function id assigned at creation by the squeezer.
+     * Survives lint elision of sibling regions (ids keep holes), so
+     * attribution rows keep their identity across config ablations.
+     */
+    int id = -1;
+    /** 1-based source line of the first speculative instruction in
+     *  the region; 0 when every member instruction is synthesized.
+     *  Threaded into MIR so misspeculation attribution can report
+     *  file:line provenance per region. */
+    int srcLine = 0;
 };
 
 /** An IR function: arguments, blocks and speculative-region metadata. */

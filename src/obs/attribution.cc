@@ -1,0 +1,198 @@
+#include "obs/attribution.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace bitspec
+{
+
+AttributionMap::AttributionMap(const MachProgram &prog)
+{
+    info_.resize(prog.flat.size());
+
+    for (const MachFunction &mf : prog.funcs) {
+        // Flat placement of this function (assigned at link).
+        const uint32_t base = prog.indexOf(mf.baseAddr);
+        const uint32_t spec_insts = mf.delta / kInstBytes;
+
+        // Recover each block's emitted [start, end) range from
+        // blockIndex. Ranges are delimited by the next-larger start;
+        // speculative-area blocks are additionally clamped to the
+        // speculative area, because the skeleton slots sit between
+        // them and the next laid-out block.
+        std::vector<std::pair<uint32_t, int>> starts; // (index, block)
+        starts.reserve(mf.blockIndex.size());
+        for (const auto &[block_id, start] : mf.blockIndex)
+            starts.emplace_back(start, block_id);
+        std::sort(starts.begin(), starts.end());
+
+        // Site registration is deterministic: regions sorted by id.
+        std::map<int, size_t> site_of_region;
+        auto site_for = [&](const MachBlock &mb) -> size_t {
+            auto it = site_of_region.find(mb.regionId);
+            if (it != site_of_region.end())
+                return it->second;
+            RegionSite site;
+            site.function = mf.name;
+            site.regionId = mb.regionId;
+            site.srcLine = mb.regionSrcLine;
+            site.entryIndex = prog.indexOf(mf.baseAddr); // Fixed below.
+            sites_.push_back(std::move(site));
+            size_t idx = sites_.size() - 1;
+            site_of_region.emplace(mb.regionId, idx);
+            return idx;
+        };
+
+        // First pass over region ids in block-id order would depend on
+        // isel block numbering; iterate blocks by layout order instead
+        // so site order follows code order within the function.
+        std::vector<int64_t> entry_of_site(sites_.size(), -1);
+        auto note_entry = [&](size_t site, uint32_t flat_idx) {
+            if (entry_of_site.size() < sites_.size())
+                entry_of_site.resize(sites_.size(), -1);
+            int64_t &cur = entry_of_site[site];
+            if (cur < 0 || flat_idx < static_cast<uint64_t>(cur))
+                cur = flat_idx;
+        };
+
+        for (size_t k = 0; k < starts.size(); ++k) {
+            const auto [start, block_id] = starts[k];
+            const MachBlock &mb =
+                mf.blocks[static_cast<size_t>(block_id)];
+            if (mb.regionId < 0)
+                continue;
+            uint32_t end = k + 1 < starts.size()
+                               ? starts[k + 1].first
+                               : static_cast<uint32_t>(mf.code.size());
+            const bool member = !mb.isHandler && mb.handlerBlock >= 0;
+            if (member)
+                end = std::min(end, spec_insts);
+            size_t site = site_for(mb);
+            for (uint32_t j = start; j < end; ++j) {
+                IndexInfo &ii = info_[base + j];
+                ii.site = static_cast<int32_t>(site);
+                ii.role = member ? IndexRole::Member
+                                 : IndexRole::Handler;
+                if (member) {
+                    // Eq. 1/2: the skeleton slot of speculative-area
+                    // instruction j sits at j + Delta/4.
+                    IndexInfo &sk = info_[base + spec_insts + j];
+                    sk.site = static_cast<int32_t>(site);
+                    sk.role = IndexRole::Skeleton;
+                }
+            }
+            if (member && start < end)
+                note_entry(site, base + start);
+        }
+
+        for (size_t s = 0; s < entry_of_site.size(); ++s) {
+            if (entry_of_site[s] < 0)
+                continue;
+            auto flat_idx = static_cast<uint32_t>(entry_of_site[s]);
+            sites_[s].entryIndex = flat_idx;
+            info_[flat_idx].entrySite = static_cast<int32_t>(s);
+        }
+    }
+}
+
+uint64_t
+AttributionSink::totalMisspecs() const
+{
+    uint64_t n = unattributedMisspecs_;
+    for (const RegionActivity &a : activity_)
+        n += a.misspecs;
+    return n;
+}
+
+std::vector<RegionReportRow>
+buildRegionReport(const AttributionMap &map, const AttributionSink &sink,
+                  const RegionReportInputs &inputs)
+{
+    const auto &sites = map.sites();
+    const auto &activity = sink.activity();
+    bsAssert(sites.size() == activity.size(),
+             "attribution report: sink built from a different map");
+
+    const double avg_epi =
+        inputs.totalInstructions
+            ? inputs.totalEnergyPj /
+                  static_cast<double>(inputs.totalInstructions)
+            : 0.0;
+
+    std::vector<RegionReportRow> rows;
+    rows.reserve(sites.size());
+    double overhead_total = 0;
+    uint64_t spec_insts_total = 0;
+    for (size_t i = 0; i < sites.size(); ++i) {
+        RegionReportRow row;
+        row.site = sites[i];
+        row.activity = activity[i];
+        row.misspecRate =
+            row.activity.entries
+                ? static_cast<double>(row.activity.misspecs) /
+                      static_cast<double>(row.activity.entries)
+                : 0.0;
+        row.overheadPj =
+            static_cast<double>(row.activity.misspecs) *
+                inputs.energy.misspecRecovery +
+            static_cast<double>(row.activity.handlerInsts) * avg_epi;
+        overhead_total += row.overheadPj;
+        spec_insts_total += row.activity.specInsts;
+        rows.push_back(std::move(row));
+    }
+
+    // Gross savings: what squeezing bought before paying for its
+    // misspeculations, attributed proportionally to each region's
+    // dynamic speculative instructions.
+    if (inputs.baselineEnergyPj > 0 && spec_insts_total > 0) {
+        const double gross = (inputs.baselineEnergyPj -
+                              inputs.totalEnergyPj) +
+                             overhead_total;
+        for (RegionReportRow &row : rows) {
+            row.savedPj =
+                gross *
+                (static_cast<double>(row.activity.specInsts) /
+                 static_cast<double>(spec_insts_total));
+            row.netPj = row.savedPj - row.overheadPj;
+        }
+    } else {
+        for (RegionReportRow &row : rows)
+            row.netPj = -row.overheadPj;
+    }
+    return rows;
+}
+
+std::string
+formatRegionReport(const std::vector<RegionReportRow> &rows,
+                   const std::string &source_file)
+{
+    std::string out = strFormat(
+        "%-26s %-18s %10s %9s %8s %9s %9s %11s %11s %11s\n", "region",
+        "site", "entries", "misspecs", "rate", "hnd_inst", "hnd_cyc",
+        "overhead_pJ", "saved_pJ", "net_pJ");
+    for (const RegionReportRow &r : rows) {
+        std::string region = strFormat("%s#%d", r.site.function.c_str(),
+                                       r.site.regionId);
+        std::string site = strFormat("%s:%d", source_file.c_str(),
+                                     r.site.srcLine);
+        out += strFormat("%-26s %-18s %10llu %9llu %8.4f %9llu %9llu "
+                         "%11.1f %11.1f %11.1f\n",
+                         region.c_str(), site.c_str(),
+                         static_cast<unsigned long long>(
+                             r.activity.entries),
+                         static_cast<unsigned long long>(
+                             r.activity.misspecs),
+                         r.misspecRate,
+                         static_cast<unsigned long long>(
+                             r.activity.handlerInsts),
+                         static_cast<unsigned long long>(
+                             r.activity.handlerCycles),
+                         r.overheadPj, r.savedPj, r.netPj);
+    }
+    return out;
+}
+
+} // namespace bitspec

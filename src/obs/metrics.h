@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unified metrics registry: named counters, gauges and histograms
+ * with labels, behind one queryable interface.
+ *
+ * Before this existed, every subsystem grew its own stats struct
+ * (ActivityCounters, SqueezeStats, lint verdict tallies, experiment
+ * cache hits) and every bench re-plumbed them by hand. The registry
+ * absorbs those at the recording edges (System build, experiment
+ * cells) so any harness can ask "what happened" once, then render it
+ * as a human table or JSON lines.
+ *
+ * Naming convention (DESIGN.md "Observability"):
+ *   <subsystem>.<noun>[.<qualifier>]  e.g. experiment.cache.hits,
+ *   run.misspeculations, squeeze.regions. Labels carry dimensions
+ *   (workload=CRC32), never facts that belong in the name.
+ *
+ * Thread safety: instrument handles are stable pointers; Counter adds
+ * are a single relaxed atomic RMW, Gauge sets a relaxed store, and
+ * Histogram records take a per-instrument mutex. Registration takes
+ * the registry mutex. Snapshots are sorted by key, so output is
+ * deterministic regardless of recording interleavings — only ordering
+ * is deterministic; values of timing histograms naturally vary.
+ */
+
+#ifndef BITSPEC_OBS_METRICS_H_
+#define BITSPEC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/stats.h"
+
+namespace bitspec
+{
+
+/** Monotonic event count. */
+class Counter
+{
+  public:
+    void
+    add(uint64_t n = 1)
+    {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> v_{0};
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void set(double v) { v_.store(v, std::memory_order_relaxed); }
+    double value() const { return v_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> v_{0.0};
+};
+
+/** Distribution of samples with p50/p95/p99 queries. */
+class HistogramMetric
+{
+  public:
+    void
+    record(double x)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        h_.add(x);
+    }
+
+    /** Copy-out under the lock; queries run on the copy. */
+    Histogram
+    snapshotValues() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return h_;
+    }
+
+  private:
+    mutable std::mutex mu_;
+    Histogram h_;
+};
+
+/** One metric's identity + current value in a registry snapshot. */
+struct MetricSample
+{
+    enum class Kind { Counter, Gauge, Histogram };
+
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> labels;
+    Kind kind = Kind::Counter;
+    double value = 0;     ///< Counter/Gauge value; Histogram sum.
+    Histogram histogram;  ///< Populated for histograms only.
+};
+
+/**
+ * The registry. Use MetricsRegistry::global() for the process-wide
+ * instance; tests may construct private registries.
+ */
+class MetricsRegistry
+{
+  public:
+    using Labels = std::vector<std::pair<std::string, std::string>>;
+
+    static MetricsRegistry &global();
+
+    /** Find-or-create; the returned reference is stable forever. */
+    Counter &counter(const std::string &name, const Labels &labels = {});
+    Gauge &gauge(const std::string &name, const Labels &labels = {});
+    HistogramMetric &histogram(const std::string &name,
+                               const Labels &labels = {});
+
+    /** All instruments, sorted by (name, labels) for stable output. */
+    std::vector<MetricSample> snapshot() const;
+
+    /** One JSON object per line per metric (machine sink). */
+    void writeJsonLines(std::ostream &os) const;
+
+    /** Aligned human-readable table (histograms show count/mean/
+     *  p50/p95/p99). */
+    void writeTable(std::ostream &os) const;
+
+    /** Drop every instrument (test isolation between cases). */
+    void reset();
+
+  private:
+    struct Instrument
+    {
+        std::string name;
+        Labels labels;
+        MetricSample::Kind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<HistogramMetric> histogram;
+    };
+
+    Instrument &get(const std::string &name, const Labels &labels,
+                    MetricSample::Kind kind);
+
+    mutable std::mutex mu_;
+    std::map<std::string, Instrument> instruments_;
+};
+
+} // namespace bitspec
+
+#endif // BITSPEC_OBS_METRICS_H_

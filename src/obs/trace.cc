@@ -1,0 +1,335 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "support/env.h"
+
+namespace bitspec::trace
+{
+
+std::atomic<bool> g_enabled{false};
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Events of one thread. Appends lock the buffer's own (uncontended)
+ *  mutex; the global registry mutex is taken only on thread
+ *  registration and at flush. */
+struct ThreadBuffer
+{
+    std::mutex mu;
+    std::vector<Event> events;
+    uint32_t tid = 0;
+};
+
+struct Registry
+{
+    std::mutex mu;
+    /** shared_ptrs keep buffers alive after their thread exits, so a
+     *  flush at process exit still sees worker events. */
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    std::atomic<uint32_t> nextTid{1};
+    Clock::time_point epoch = Clock::now();
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+ThreadBuffer &
+localBuffer()
+{
+    thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+        auto b = std::make_shared<ThreadBuffer>();
+        Registry &r = registry();
+        b->tid = r.nextTid.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(r.mu);
+        r.buffers.push_back(b);
+        return b;
+    }();
+    return *buf;
+}
+
+uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - registry().epoch)
+            .count());
+}
+
+void
+append(Event e)
+{
+    ThreadBuffer &b = localBuffer();
+    e.tid = b.tid;
+    std::lock_guard<std::mutex> lock(b.mu);
+    b.events.push_back(std::move(e));
+}
+
+void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+}
+
+/** Arg values that parse fully as numbers are emitted unquoted so
+ *  counter tracks and numeric annotations stay numeric in Perfetto. */
+bool
+looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    std::strtod(s.c_str(), &end);
+    return end && *end == '\0';
+}
+
+void
+writeEvent(std::ostream &os, const Event &e)
+{
+    os << "{\"name\":\"";
+    jsonEscape(os, e.name);
+    os << "\",\"cat\":\"" << (e.cat && *e.cat ? e.cat : "bitspec")
+       << "\",\"ph\":\"" << e.phase << "\",\"pid\":1,\"tid\":" << e.tid;
+    if (e.phase != 'M') {
+        char ts[48];
+        std::snprintf(ts, sizeof ts, "%.3f",
+                      static_cast<double>(e.tsNs) / 1000.0);
+        os << ",\"ts\":" << ts;
+    }
+    if (e.phase == 'i')
+        os << ",\"s\":\"t\"";
+    if (!e.args.empty()) {
+        os << ",\"args\":{";
+        for (size_t i = 0; i < e.args.size(); ++i) {
+            if (i)
+                os << ",";
+            os << "\"";
+            jsonEscape(os, e.args[i].first);
+            os << "\":";
+            if (looksNumeric(e.args[i].second)) {
+                os << e.args[i].second;
+            } else {
+                os << "\"";
+                jsonEscape(os, e.args[i].second);
+                os << "\"";
+            }
+        }
+        os << "}";
+    }
+    os << "}";
+}
+
+/** Reads BITSPEC_TRACE once at static-init time: enables tracing,
+ *  names the main thread, and registers the at-exit export. */
+struct EnvInit
+{
+    EnvInit()
+    {
+        std::string path = env::getString("BITSPEC_TRACE");
+        if (path.empty())
+            return;
+        static std::string s_path;
+        s_path = path;
+        g_enabled.store(true, std::memory_order_relaxed);
+        nameThisThread("main");
+        std::atexit([] {
+            if (!writeTo(s_path))
+                std::fprintf(stderr,
+                             "BITSPEC_TRACE: cannot write %s\n",
+                             s_path.c_str());
+            else
+                std::fprintf(stderr, "BITSPEC_TRACE: wrote %s\n",
+                             s_path.c_str());
+        });
+    }
+};
+
+EnvInit g_envInit;
+
+} // namespace
+
+Span::Span(std::string name, const char *category)
+    : live_(enabled()), name_(std::move(name)), cat_(category)
+{
+    if (!live_)
+        return;
+    Event e;
+    e.name = name_;
+    e.cat = cat_;
+    e.phase = 'B';
+    e.tsNs = nowNs();
+    append(std::move(e));
+}
+
+Span::~Span()
+{
+    if (!live_)
+        return;
+    Event e;
+    e.name = std::move(name_);
+    e.cat = cat_;
+    e.phase = 'E';
+    e.tsNs = nowNs();
+    e.args = std::move(args_);
+    append(std::move(e));
+}
+
+void
+Span::arg(std::string key, std::string value)
+{
+    if (!live_)
+        return;
+    args_.emplace_back(std::move(key), std::move(value));
+}
+
+void
+instant(std::string name, const char *category,
+        std::vector<std::pair<std::string, std::string>> args)
+{
+    if (!enabled())
+        return;
+    Event e;
+    e.name = std::move(name);
+    e.cat = category;
+    e.phase = 'i';
+    e.tsNs = nowNs();
+    e.args = std::move(args);
+    append(std::move(e));
+}
+
+void
+counter(std::string name, const char *category, double value)
+{
+    if (!enabled())
+        return;
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    Event e;
+    e.name = std::move(name);
+    e.cat = category;
+    e.phase = 'C';
+    e.tsNs = nowNs();
+    e.args.emplace_back("value", buf);
+    append(std::move(e));
+}
+
+void
+nameThisThread(const std::string &name)
+{
+    if (!enabled())
+        return;
+    thread_local bool named = false;
+    if (named)
+        return;
+    named = true;
+    ThreadBuffer &b = localBuffer();
+    Event e;
+    e.name = "thread_name";
+    e.phase = 'M';
+    e.args.emplace_back("name",
+                        name + "-" + std::to_string(b.tid));
+    append(std::move(e));
+}
+
+void
+setEnabled(bool on)
+{
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::vector<Event>
+snapshot()
+{
+    Registry &r = registry();
+    std::vector<std::shared_ptr<ThreadBuffer>> bufs;
+    {
+        std::lock_guard<std::mutex> lock(r.mu);
+        bufs = r.buffers;
+    }
+    std::vector<Event> out;
+    for (const auto &b : bufs) {
+        std::lock_guard<std::mutex> lock(b->mu);
+        out.insert(out.end(), b->events.begin(), b->events.end());
+    }
+    return out;
+}
+
+size_t
+eventCount()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    size_t n = 0;
+    for (const auto &b : r.buffers) {
+        std::lock_guard<std::mutex> bl(b->mu);
+        n += b->events.size();
+    }
+    return n;
+}
+
+void
+reset()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (const auto &b : r.buffers) {
+        std::lock_guard<std::mutex> bl(b->mu);
+        b->events.clear();
+    }
+}
+
+std::string
+toJson()
+{
+    std::ostringstream os;
+    os << "{\"traceEvents\":[\n";
+    std::vector<Event> events = snapshot();
+    for (size_t i = 0; i < events.size(); ++i) {
+        writeEvent(os, events[i]);
+        os << (i + 1 < events.size() ? ",\n" : "\n");
+    }
+    os << "],\"displayTimeUnit\":\"ms\"}\n";
+    return os.str();
+}
+
+bool
+writeTo(const std::string &path)
+{
+    std::ofstream of(path, std::ios::trunc);
+    if (!of)
+        return false;
+    of << toJson();
+    return static_cast<bool>(of);
+}
+
+} // namespace bitspec::trace

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Structured tracing with Chrome trace-event JSON export.
+ *
+ * Every pipeline stage (lex/parse, irgen, expander, profiling,
+ * squeezing, isel/regalloc/layout, MIR verify) and every execution
+ * (interpreter decode/run, core run, experiment cells) opens an RAII
+ * Span; spans land in lock-free per-thread buffers and are flushed on
+ * demand — or automatically at process exit when BITSPEC_TRACE=<path>
+ * is set — as a trace viewable in Perfetto (ui.perfetto.dev) or
+ * chrome://tracing.
+ *
+ * Overhead contract (see DESIGN.md "Observability"):
+ *  - disabled: one relaxed atomic load per span site; no allocation,
+ *    no clock read, no branch in any per-instruction loop;
+ *  - enabled: two clock reads + two buffer appends per span, taken
+ *    under no lock (the global registry mutex is touched only when a
+ *    new thread emits its first event, and at flush).
+ *
+ * Span events are emitted as paired B/E ("duration begin/end")
+ * records, so per-thread buffer order is timestamp order — the
+ * trace_selfcheck test relies on that monotonicity.
+ */
+
+#ifndef BITSPEC_OBS_TRACE_H_
+#define BITSPEC_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bitspec::trace
+{
+
+/** Process-wide enable flag; set from BITSPEC_TRACE at first use or
+ *  explicitly via setEnabled() (tests, harnesses). */
+extern std::atomic<bool> g_enabled;
+
+/** Fast path: is tracing on? One relaxed load; safe pre-main. */
+inline bool
+enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+/** One exported trace record (also the selfcheck test's view). */
+struct Event
+{
+    std::string name;
+    const char *cat = "";
+    char phase = 'X';   ///< 'B'egin, 'E'nd, 'i'nstant, 'C'ounter, 'M'eta.
+    uint64_t tsNs = 0;  ///< Nanoseconds since process trace epoch.
+    uint32_t tid = 0;
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+/**
+ * RAII duration span. Cheap to construct when tracing is disabled;
+ * when enabled it appends a 'B' event immediately and an 'E' event
+ * (carrying any arg() annotations) at destruction.
+ */
+class Span
+{
+  public:
+    Span(std::string name, const char *category);
+    ~Span();
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    /** Annotate the span; shows under "args" in the viewer. */
+    void arg(std::string key, std::string value);
+
+  private:
+    bool live_;
+    std::string name_;
+    const char *cat_;
+    std::vector<std::pair<std::string, std::string>> args_;
+};
+
+/** Zero-duration instant event (rendered as a tick mark). */
+void instant(std::string name, const char *category,
+             std::vector<std::pair<std::string, std::string>> args = {});
+
+/** Counter track sample (rendered as a stacked area chart). */
+void counter(std::string name, const char *category, double value);
+
+/**
+ * Name the calling thread's lane in the viewer. The first call wins;
+ * later calls are ignored, so hot paths may call nameThisThread on
+ * every entry ("worker") without churn. The main thread is named
+ * automatically.
+ */
+void nameThisThread(const std::string &name);
+
+/** Force tracing on/off (tests and harnesses; overrides the env). */
+void setEnabled(bool on);
+
+/**
+ * Snapshot every thread's buffered events, ordered by (tid, buffer
+ * position). Does not clear the buffers.
+ */
+std::vector<Event> snapshot();
+
+/** Total buffered events across all threads. */
+size_t eventCount();
+
+/** Drop all buffered events (test isolation). */
+void reset();
+
+/**
+ * Write all buffered events to @p path as Chrome trace-event JSON
+ * ({"traceEvents": [...]}); returns false when the file cannot be
+ * opened. Buffers are left intact so repeated flushes are cumulative
+ * snapshots.
+ */
+bool writeTo(const std::string &path);
+
+/** Serialize the current buffers to JSON (writeTo's payload). */
+std::string toJson();
+
+} // namespace bitspec::trace
+
+#endif // BITSPEC_OBS_TRACE_H_

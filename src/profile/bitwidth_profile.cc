@@ -1,5 +1,6 @@
 #include "profile/bitwidth_profile.h"
 
+#include "obs/trace.h"
 #include "support/bits.h"
 #include "support/error.h"
 
@@ -29,6 +30,7 @@ void
 BitwidthProfile::profileRun(Interpreter &interp, const std::string &fn,
                             const std::vector<uint64_t> &args)
 {
+    trace::Span span("profile.train_run", "compile");
     interp.reset();
     if (interp.engine() == ExecEngine::Decoded) {
         interp.enableValueProfile();

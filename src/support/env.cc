@@ -1,0 +1,64 @@
+#include "support/env.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace bitspec::env
+{
+
+std::optional<std::string>
+raw(const char *name)
+{
+    const char *v = std::getenv(name);
+    if (!v)
+        return std::nullopt;
+    return std::string(v);
+}
+
+std::string
+getString(const char *name, const std::string &def)
+{
+    auto v = raw(name);
+    return v ? *v : def;
+}
+
+bool
+getBool(const char *name, bool def)
+{
+    auto v = raw(name);
+    if (!v)
+        return def;
+    if (*v == "1" || *v == "true" || *v == "on")
+        return true;
+    if (*v == "0" || *v == "false" || *v == "off" || v->empty())
+        return false;
+    fatal(strFormat("%s: malformed boolean \"%s\" "
+                    "(use 1/true/on or 0/false/off)",
+                    name, v->c_str()));
+}
+
+unsigned
+getUnsigned(const char *name, unsigned def, unsigned lo, unsigned hi)
+{
+    auto v = raw(name);
+    if (!v)
+        return def;
+    char *end = nullptr;
+    unsigned long n = std::strtoul(v->c_str(), &end, 10);
+    // strtoul tolerates leading whitespace and sign characters; a
+    // knob value must be nothing but digits.
+    bool digits = !v->empty() &&
+                  std::isdigit(static_cast<unsigned char>((*v)[0]));
+    if (!digits || !end || *end != '\0')
+        fatal(strFormat("%s: malformed unsigned integer \"%s\"", name,
+                        v->c_str()));
+    if (n < lo || n > hi)
+        fatal(strFormat("%s: value %lu out of range [%u, %u]", name, n,
+                        lo, hi));
+    return static_cast<unsigned>(n);
+}
+
+} // namespace bitspec::env

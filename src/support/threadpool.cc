@@ -1,6 +1,6 @@
 #include "support/threadpool.h"
 
-#include <cstdlib>
+#include "support/env.h"
 
 namespace bitspec
 {
@@ -8,14 +8,8 @@ namespace bitspec
 unsigned
 ThreadPool::defaultThreadCount()
 {
-    if (const char *env = std::getenv("BITSPEC_JOBS")) {
-        char *end = nullptr;
-        unsigned long n = std::strtoul(env, &end, 10);
-        if (end && *end == '\0' && n >= 1 && n <= 1024)
-            return static_cast<unsigned>(n);
-    }
     unsigned hw = std::thread::hardware_concurrency();
-    return hw >= 1 ? hw : 1;
+    return env::getUnsigned("BITSPEC_JOBS", hw >= 1 ? hw : 1, 1, 1024);
 }
 
 ThreadPool::ThreadPool(unsigned threads)

@@ -10,6 +10,7 @@
 #include "analysis/verifier.h"
 #include "ir/builder.h"
 #include "ir/clone.h"
+#include "obs/trace.h"
 #include "support/error.h"
 #include "transform/simplify.h"
 
@@ -405,6 +406,7 @@ expandModule(Module &m, const ExpanderOptions &opts)
     ExpandStats stats;
     if (!opts.enabled)
         return stats;
+    trace::Span span("transform.expand", "compile");
     for (const auto &f : m.functions()) {
         stats.inlinedCalls += inlineFunction(*f, opts);
         simplifyTrivialPhis(*f);

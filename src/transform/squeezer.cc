@@ -15,6 +15,7 @@
 #include "analysis/verifier.h"
 #include "ir/builder.h"
 #include "ir/clone.h"
+#include "obs/trace.h"
 #include "support/bits.h"
 #include "support/error.h"
 #include "transform/cfg_prep.h"
@@ -751,6 +752,24 @@ class SqueezerImpl
             SpecRegion *sr = f_.addSpecRegion();
             sr->blocks.push_back(bb);
             sr->handler = h;
+            // Attribution identity: dense id at creation (stable even
+            // when lint later elides siblings) plus the source line of
+            // the first speculative instruction in the block.
+            sr->id = static_cast<int>(f_.specRegions().size()) - 1;
+            for (const auto &inst : bb->insts()) {
+                if (inst->isSpeculative() && inst->srcLine() > 0) {
+                    sr->srcLine = inst->srcLine();
+                    break;
+                }
+            }
+            if (sr->srcLine == 0) {
+                for (const auto &inst : bb->insts()) {
+                    if (inst->srcLine() > 0) {
+                        sr->srcLine = inst->srcLine();
+                        break;
+                    }
+                }
+            }
             ++stats_.regions;
             pending.push_back({bb, ob, h});
         }
@@ -886,10 +905,16 @@ SqueezeStats
 squeezeModule(Module &m, const BitwidthProfile &profile,
               const SqueezeOptions &opts)
 {
+    trace::Span span("transform.squeeze", "compile");
     SqueezeStats total;
     for (const auto &f : m.functions())
         total += squeezeFunction(*f, profile, opts);
-    verifyOrDie(m, "after squeezing");
+    {
+        trace::Span s("transform.squeeze_verify", "compile");
+        verifyOrDie(m, "after squeezing");
+    }
+    span.arg("narrowed", std::to_string(total.narrowed));
+    span.arg("regions", std::to_string(total.regions));
     return total;
 }
 

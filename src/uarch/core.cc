@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/attribution.h"
+#include "obs/trace.h"
 #include "support/bits.h"
 #include "support/error.h"
 #include "support/str.h"
@@ -139,6 +141,7 @@ Core::storeData(uint32_t addr, uint32_t value, unsigned bytes)
 uint32_t
 Core::run(const std::vector<uint32_t> &args)
 {
+    trace::Span span("core.run", "execute");
     bsAssert(args.size() <= 4, "run: more than 4 arguments");
     for (size_t i = 0; i < args.size(); ++i)
         regs_[i] = args[i];
@@ -183,6 +186,7 @@ Core::run(const std::vector<uint32_t> &args)
         const MachInst &inst = flat[idx];
         uint32_t pc_addr =
             MachProgram::kCodeBase + idx * kInstBytes;
+        const uint64_t cycle_at_fetch = cycle;
 
         // Fetch.
         cycle += 1 + mem_.fetch(pc_addr);
@@ -202,6 +206,8 @@ Core::run(const std::vector<uint32_t> &args)
 
         auto misspeculate = [&]() {
             ++counters_.misspeculations;
+            if (attr_)
+                attr_->onMisspec(idx);
             next = idx + delta_ / kInstBytes;
             cycle += kMisspecPenalty;
         };
@@ -469,6 +475,8 @@ Core::run(const std::vector<uint32_t> &args)
             uint32_t lr = regs_[kRegLR];
             cycle += kBranchPenalty;
             if (lr == MachProgram::kHaltAddr) {
+                if (attr_)
+                    attr_->onInst(idx, cycle - cycle_at_fetch);
                 finish(cycle);
                 return regs_[0];
             }
@@ -494,6 +502,8 @@ Core::run(const std::vector<uint32_t> &args)
           case MOp::NOP:
             break;
           case MOp::HALT:
+            if (attr_)
+                attr_->onInst(idx, cycle - cycle_at_fetch);
             finish(cycle);
             return regs_[0];
         }
@@ -501,6 +511,8 @@ Core::run(const std::vector<uint32_t> &args)
         if (wrote && (inst.dst.isReg() || inst.dst.isSlice()))
             readyAt_[inst.dst.reg] = dst_ready;
 
+        if (attr_)
+            attr_->onInst(idx, cycle - cycle_at_fetch);
         idx = next;
     }
 }

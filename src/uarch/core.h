@@ -27,6 +27,8 @@
 namespace bitspec
 {
 
+class AttributionSink;
+
 /** Executes linked EMB32 programs. */
 class Core
 {
@@ -59,6 +61,12 @@ class Core
 
     void setFuel(uint64_t fuel) { fuel_ = fuel; }
 
+    /** Attach (or detach with nullptr) a misspeculation-attribution
+     *  recorder for subsequent runs. The run loop pays one null test
+     *  per retired instruction when no sink is attached; @p sink must
+     *  outlive the runs it observes. */
+    void setAttribution(AttributionSink *sink) { attr_ = sink; }
+
   private:
     struct Flags
     {
@@ -85,6 +93,7 @@ class Core
     /** FNV-1a over output_, maintained incrementally by OUT. */
     uint64_t outputHash_ = kFnvOffset;
     uint64_t fuel_ = kDefaultFuel;
+    AttributionSink *attr_ = nullptr;
 
     /** Scoreboard: cycle when each register's value is ready. */
     uint64_t readyAt_[16] = {};

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "support/error.h"
+
+namespace bitspec
+{
+namespace
+{
+
+TEST(Metrics, CounterFindOrCreateIsStable)
+{
+    MetricsRegistry reg;
+    Counter &a = reg.counter("test.hits");
+    Counter &b = reg.counter("test.hits");
+    EXPECT_EQ(&a, &b);
+    a.add();
+    b.add(4);
+    EXPECT_EQ(a.value(), 5u);
+}
+
+TEST(Metrics, LabelsDistinguishInstruments)
+{
+    MetricsRegistry reg;
+    Counter &crc = reg.counter("run.cells", {{"workload", "CRC32"}});
+    Counter &dij = reg.counter("run.cells", {{"workload", "dijkstra"}});
+    EXPECT_NE(&crc, &dij);
+    crc.add(2);
+    dij.add(3);
+    EXPECT_EQ(crc.value(), 2u);
+    EXPECT_EQ(dij.value(), 3u);
+    // Label order does not matter: same sorted key, same instrument.
+    Counter &two = reg.counter("x", {{"a", "1"}, {"b", "2"}});
+    Counter &two_swapped = reg.counter("x", {{"b", "2"}, {"a", "1"}});
+    EXPECT_EQ(&two, &two_swapped);
+}
+
+TEST(Metrics, KindMismatchPanics)
+{
+    MetricsRegistry reg;
+    reg.counter("dual.use");
+    EXPECT_THROW(reg.gauge("dual.use"), PanicError);
+    EXPECT_THROW(reg.histogram("dual.use"), PanicError);
+}
+
+TEST(Metrics, GaugeLastWriteWins)
+{
+    MetricsRegistry reg;
+    Gauge &g = reg.gauge("temp");
+    g.set(1.5);
+    g.set(2.5);
+    EXPECT_DOUBLE_EQ(g.value(), 2.5);
+}
+
+TEST(Metrics, HistogramRecordsAndSnapshots)
+{
+    MetricsRegistry reg;
+    HistogramMetric &h = reg.histogram("latency");
+    for (double x : {1.0, 2.0, 3.0, 4.0})
+        h.record(x);
+    Histogram snap = h.snapshotValues();
+    EXPECT_EQ(snap.count(), 4u);
+    EXPECT_DOUBLE_EQ(snap.p50(), 2.5);
+}
+
+TEST(Metrics, SnapshotIsSortedAndComplete)
+{
+    MetricsRegistry reg;
+    reg.counter("z.last").add(1);
+    reg.counter("a.first").add(2);
+    reg.gauge("m.middle").set(3.0);
+    auto samples = reg.snapshot();
+    ASSERT_EQ(samples.size(), 3u);
+    EXPECT_EQ(samples[0].name, "a.first");
+    EXPECT_EQ(samples[1].name, "m.middle");
+    EXPECT_EQ(samples[2].name, "z.last");
+    EXPECT_DOUBLE_EQ(samples[0].value, 2.0);
+    EXPECT_EQ(samples[1].kind, MetricSample::Kind::Gauge);
+}
+
+TEST(Metrics, JsonLinesOnePerMetric)
+{
+    MetricsRegistry reg;
+    reg.counter("c.one", {{"workload", "CRC32"}}).add(7);
+    reg.histogram("h.two").record(1.0);
+    std::ostringstream os;
+    reg.writeJsonLines(os);
+    std::string out = os.str();
+    // Two lines, each a JSON object.
+    size_t lines = 0;
+    for (char ch : out)
+        lines += ch == '\n';
+    EXPECT_EQ(lines, 2u);
+    EXPECT_NE(out.find("\"name\":\"c.one\""), std::string::npos);
+    EXPECT_NE(out.find("\"workload\":\"CRC32\""), std::string::npos);
+    EXPECT_NE(out.find("\"value\":7"), std::string::npos);
+    EXPECT_NE(out.find("\"p50\":"), std::string::npos);
+}
+
+TEST(Metrics, TableContainsNamesAndValues)
+{
+    MetricsRegistry reg;
+    reg.counter("experiment.cache.hits").add(12);
+    std::ostringstream os;
+    reg.writeTable(os);
+    EXPECT_NE(os.str().find("experiment.cache.hits"),
+              std::string::npos);
+    EXPECT_NE(os.str().find("12"), std::string::npos);
+}
+
+TEST(Metrics, ConcurrentCountsAreExact)
+{
+    MetricsRegistry reg;
+    Counter &c = reg.counter("contended");
+    std::vector<std::thread> threads;
+    constexpr int kThreads = 8, kAdds = 10000;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&c] {
+            for (int i = 0; i < kAdds; ++i)
+                c.add();
+        });
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(c.value(),
+              static_cast<uint64_t>(kThreads) * kAdds);
+}
+
+TEST(Metrics, ResetDropsInstruments)
+{
+    MetricsRegistry reg;
+    reg.counter("ephemeral").add(1);
+    reg.reset();
+    EXPECT_TRUE(reg.snapshot().empty());
+    // Recreating after reset starts from zero.
+    EXPECT_EQ(reg.counter("ephemeral").value(), 0u);
+}
+
+TEST(Metrics, GlobalRegistryIsASingleton)
+{
+    EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+} // namespace
+} // namespace bitspec

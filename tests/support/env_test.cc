@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "support/env.h"
+#include "support/error.h"
+
+namespace bitspec
+{
+namespace
+{
+
+/** Scoped setenv/unsetenv so cases cannot leak into each other. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+    ~ScopedEnv() { ::unsetenv(name_); }
+
+  private:
+    const char *name_;
+};
+
+constexpr const char *kVar = "BITSPEC_ENV_TEST_VAR";
+
+TEST(Env, RawDistinguishesUnsetFromEmpty)
+{
+    {
+        ScopedEnv e(kVar, nullptr);
+        EXPECT_FALSE(env::raw(kVar).has_value());
+    }
+    {
+        ScopedEnv e(kVar, "");
+        ASSERT_TRUE(env::raw(kVar).has_value());
+        EXPECT_EQ(*env::raw(kVar), "");
+    }
+    {
+        ScopedEnv e(kVar, "abc");
+        EXPECT_EQ(*env::raw(kVar), "abc");
+    }
+}
+
+TEST(Env, GetStringDefaultsWhenUnset)
+{
+    ScopedEnv e(kVar, nullptr);
+    EXPECT_EQ(env::getString(kVar, "fallback"), "fallback");
+    EXPECT_EQ(env::getString(kVar), "");
+}
+
+TEST(Env, GetStringReturnsValue)
+{
+    ScopedEnv e(kVar, "trace.json");
+    EXPECT_EQ(env::getString(kVar, "fallback"), "trace.json");
+}
+
+TEST(Env, GetBoolAcceptedSpellings)
+{
+    for (const char *v : {"1", "true", "on"}) {
+        ScopedEnv e(kVar, v);
+        EXPECT_TRUE(env::getBool(kVar, false)) << v;
+    }
+    for (const char *v : {"0", "false", "off", ""}) {
+        ScopedEnv e(kVar, v);
+        EXPECT_FALSE(env::getBool(kVar, true)) << v;
+    }
+}
+
+TEST(Env, GetBoolDefaultsWhenUnset)
+{
+    ScopedEnv e(kVar, nullptr);
+    EXPECT_TRUE(env::getBool(kVar, true));
+    EXPECT_FALSE(env::getBool(kVar, false));
+}
+
+TEST(Env, GetBoolRejectsGarbage)
+{
+    for (const char *v : {"yes", "2", "TRUE", "On", " 1"}) {
+        ScopedEnv e(kVar, v);
+        EXPECT_THROW(env::getBool(kVar, false), FatalError) << v;
+    }
+}
+
+TEST(Env, GetUnsignedParsesAndDefaults)
+{
+    {
+        ScopedEnv e(kVar, "42");
+        EXPECT_EQ(env::getUnsigned(kVar, 7, 1, 100), 42u);
+    }
+    {
+        ScopedEnv e(kVar, nullptr);
+        EXPECT_EQ(env::getUnsigned(kVar, 7, 1, 100), 7u);
+    }
+    {
+        // Boundary values are in range.
+        ScopedEnv e(kVar, "1");
+        EXPECT_EQ(env::getUnsigned(kVar, 7, 1, 100), 1u);
+    }
+    {
+        ScopedEnv e(kVar, "100");
+        EXPECT_EQ(env::getUnsigned(kVar, 7, 1, 100), 100u);
+    }
+}
+
+TEST(Env, GetUnsignedRejectsMalformedAndOutOfRange)
+{
+    for (const char *v : {"", "8x", "not-a-number", "-3", "1e3", " 8"}) {
+        ScopedEnv e(kVar, v);
+        EXPECT_THROW(env::getUnsigned(kVar, 7, 1, 100), FatalError)
+            << v;
+    }
+    for (const char *v : {"0", "101", "99999999999999999999"}) {
+        ScopedEnv e(kVar, v);
+        EXPECT_THROW(env::getUnsigned(kVar, 7, 1, 100), FatalError)
+            << v;
+    }
+}
+
+} // namespace
+} // namespace bitspec

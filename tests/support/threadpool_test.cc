@@ -74,11 +74,12 @@ TEST(ThreadPool, DefaultThreadCountHonorsEnv)
     ::setenv("BITSPEC_JOBS", "3", 1);
     EXPECT_EQ(ThreadPool::defaultThreadCount(), 3u);
 
-    // Out-of-range and malformed values fall back.
+    // Out-of-range and malformed values are a hard configuration
+    // error (support/env contract), not a silent fallback.
     ::setenv("BITSPEC_JOBS", "0", 1);
-    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+    EXPECT_THROW(ThreadPool::defaultThreadCount(), FatalError);
     ::setenv("BITSPEC_JOBS", "not-a-number", 1);
-    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+    EXPECT_THROW(ThreadPool::defaultThreadCount(), FatalError);
 
     ::unsetenv("BITSPEC_JOBS");
     EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
