@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Perf-trajectory gate: distils a BENCH_micro.json into one
+ * TrajectoryRecord, compares it against the rolling baseline in the
+ * history file, appends the record, and exits non-zero on regression.
+ *
+ * Usage:
+ *   bench_gate <BENCH_micro.json> <history.jsonl>
+ *              [--check-only] [--window N] [--drop-pct X]
+ *
+ * The record is appended even when the gate fails — a regression is
+ * exactly the run the history must remember — unless --check-only is
+ * given. Runs from debug builds are tagged and only ever compared
+ * against other debug runs (see obs/trajectory.h).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/trajectory.h"
+
+using namespace bitspec;
+
+namespace
+{
+
+/** `git rev-parse --short HEAD`, or "unknown" outside a checkout. */
+std::string
+gitShortSha()
+{
+    FILE *p = popen("git rev-parse --short HEAD 2>/dev/null", "r");
+    if (!p)
+        return "unknown";
+    char buf[64] = {};
+    size_t n = fread(buf, 1, sizeof buf - 1, p);
+    pclose(p);
+    std::string sha(buf, n);
+    while (!sha.empty() &&
+           (sha.back() == '\n' || sha.back() == '\r'))
+        sha.pop_back();
+    return sha.empty() ? "unknown" : sha;
+}
+
+std::string
+utcTimestamp()
+{
+    std::time_t now = std::chrono::system_clock::to_time_t(
+        std::chrono::system_clock::now());
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <BENCH_micro.json> <history.jsonl> "
+                 "[--check-only] [--window N] [--drop-pct X]\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string bench_path, history_path;
+    bool check_only = false;
+    GateOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--check-only") {
+            check_only = true;
+        } else if (arg == "--window" && i + 1 < argc) {
+            opts.window =
+                static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--drop-pct" && i + 1 < argc) {
+            opts.defaultDropPct = std::strtod(argv[++i], nullptr);
+        } else if (bench_path.empty()) {
+            bench_path = arg;
+        } else if (history_path.empty()) {
+            history_path = arg;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (bench_path.empty() || history_path.empty())
+        return usage(argv[0]);
+
+    std::ifstream in(bench_path);
+    if (!in) {
+        std::fprintf(stderr, "bench_gate: cannot read %s\n",
+                     bench_path.c_str());
+        return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+
+    TrajectoryRecord rec = recordFromBenchJson(buf.str());
+    rec.gitSha = gitShortSha();
+    rec.timestamp = utcTimestamp();
+#ifndef NDEBUG
+    // The gate binary itself being a debug build means the whole
+    // build tree is; tag the record even if the bench JSON context
+    // failed to say so.
+    rec.debugBuild = true;
+#endif
+    if (rec.debugBuild)
+        std::fprintf(
+            stderr,
+            "*** bench_gate: DEBUG-BUILD record (build_type=%s); "
+            "gating only against other debug runs ***\n",
+            rec.buildType.c_str());
+    if (rec.series.empty()) {
+        std::fprintf(stderr,
+                     "bench_gate: no recognisable series in %s\n",
+                     bench_path.c_str());
+        return 2;
+    }
+
+    std::vector<TrajectoryRecord> history = loadHistory(history_path);
+    GateResult result = checkAgainstHistory(rec, history, opts);
+    std::printf("bench_gate: %s @ %s vs %zu comparable run(s) in %s\n",
+                rec.gitSha.c_str(), rec.timestamp.c_str(),
+                result.baselineRuns, history_path.c_str());
+    std::printf("%s", formatGateResult(result).c_str());
+
+    if (!check_only) {
+        if (!appendHistory(history_path, rec)) {
+            std::fprintf(stderr, "bench_gate: cannot append to %s\n",
+                         history_path.c_str());
+            return 2;
+        }
+        std::printf("recorded -> %s (%zu run(s) total)\n",
+                    history_path.c_str(), history.size() + 1);
+    }
+    return result.pass ? 0 : 1;
+}

@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "backend/compiler.h"
 #include "core/system.h"
 #include "frontend/irgen.h"
@@ -129,6 +131,24 @@ BENCHMARK(BM_CoreThroughput);
 BENCHMARK(BM_CompileBaseline);
 BENCHMARK(BM_SqueezePipeline);
 BENCHMARK(BM_FullSystemBuild);
+
+#ifndef NDEBUG
+/** Loud tripwire: debug-built rates must never enter the perf
+ *  trajectory unflagged. bench_gate additionally tags the history
+ *  record debug_build=true (from the benchmark JSON context), so a
+ *  debug run can never become the rolling baseline for release
+ *  runs. */
+struct DebugBuildWarning
+{
+    DebugBuildWarning()
+    {
+        std::fprintf(
+            stderr,
+            "*** micro_throughput built without NDEBUG: throughput "
+            "numbers are NOT comparable to release records ***\n");
+    }
+} g_debugBuildWarning;
+#endif
 
 } // namespace
 

@@ -4,6 +4,7 @@
 #include "analysis/verifier.h"
 #include "frontend/irgen.h"
 #include "interp/interpreter.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "profile/bitwidth_profile.h"
 
@@ -113,6 +114,16 @@ RunResult
 System::run(const std::function<void(Module &)> &run_input,
             const std::vector<uint32_t> &args, AttributionSink *attr)
 {
+    RunObservers obs;
+    obs.attribution = attr;
+    return run(run_input, args, obs);
+}
+
+RunResult
+System::run(const std::function<void(Module &)> &run_input,
+            const std::vector<uint32_t> &args,
+            const RunObservers &observers)
+{
     trace::Span span("system.run", "execute");
     for (auto &[g, bytes] : globalSnapshot_)
         g->setData(bytes);
@@ -120,8 +131,17 @@ System::run(const std::function<void(Module &)> &run_input,
         run_input(*module_);
 
     Core core(compiled_.program, *module_);
-    if (attr)
-        core.setAttribution(attr);
+    if (observers.attribution)
+        core.setAttribution(observers.attribution);
+    if (observers.blocks)
+        core.setBlockProfiler(observers.blocks);
+    // Any traced run gets counter tracks alongside its spans unless
+    // the caller brought its own emitter.
+    CounterTrackEmitter traced_tracks;
+    if (observers.tracks)
+        core.setCounterTracks(observers.tracks);
+    else if (trace::enabled())
+        core.setCounterTracks(&traced_tracks);
     RunResult out;
     out.returnValue = core.run(args);
     out.outputChecksum = core.outputChecksum();

@@ -26,6 +26,21 @@
 namespace bitspec
 {
 
+class BlockProfilerSink;
+class CounterTrackEmitter;
+
+/** Observers a run attaches to the core; all optional, all must
+ *  outlive the run. When `tracks` is null but BITSPEC_TRACE is
+ *  active, System attaches a transient CounterTrackEmitter so every
+ *  traced run gets IPC / misspec-rate / cache-hit counter tracks for
+ *  free. */
+struct RunObservers
+{
+    AttributionSink *attribution = nullptr;
+    BlockProfilerSink *blocks = nullptr;
+    CounterTrackEmitter *tracks = nullptr;
+};
+
 /** One experiment configuration (paper §A.7 YAML equivalent). */
 struct SystemConfig
 {
@@ -98,6 +113,12 @@ class System
     RunResult run(const std::function<void(Module &)> &run_input,
                   const std::vector<uint32_t> &args,
                   AttributionSink *attr);
+
+    /** As above, with any combination of observers attached to the
+     *  core for this run. */
+    RunResult run(const std::function<void(Module &)> &run_input,
+                  const std::vector<uint32_t> &args,
+                  const RunObservers &observers);
 
     Module &module() { return *module_; }
     const MachProgram &program() const { return compiled_.program; }

@@ -99,6 +99,8 @@ Interpreter::invalidate()
     prof_.clear();
     profInst_.clear();
     staticBound_.clear();
+    blockCells_.clear();
+    blockOf_.clear();
 }
 
 uint64_t
@@ -161,6 +163,13 @@ Interpreter::decodedFor(Function *f)
     } else {
         staticBound_.resize(profInst_.size(), 64);
     }
+    // Per-block profile cells are allocated eagerly (they are tiny)
+    // so setBlockProfile can be toggled between runs without
+    // re-decoding.
+    df->setBlockBase(static_cast<uint32_t>(blockCells_.size()));
+    blockCells_.resize(blockCells_.size() + df->numBlocks());
+    for (uint32_t b = 0; b < df->numBlocks(); ++b)
+        blockOf_.emplace_back(f, b);
     const DecodedFunction &ref = *df;
     decodeCache_.emplace(f, std::move(df));
     return ref;
@@ -214,6 +223,28 @@ Interpreter::takeValueProfile()
     return out;
 }
 
+std::vector<Interpreter::BlockProfileEntry>
+Interpreter::blockProfile() const
+{
+    std::vector<BlockProfileEntry> out;
+    for (size_t i = 0; i < blockCells_.size(); ++i) {
+        const BlockCell &c = blockCells_[i];
+        if (c.entries == 0)
+            continue;
+        BlockProfileEntry e;
+        e.function = blockOf_[i].first;
+        e.blockIndex = blockOf_[i].second;
+        auto it = decodeCache_.find(e.function);
+        if (it != decodeCache_.end())
+            e.blockName = it->second->blockName(e.blockIndex);
+        e.entries = c.entries;
+        e.insts = c.insts;
+        e.misspecs = c.misspecs;
+        out.push_back(std::move(e));
+    }
+    return out;
+}
+
 uint64_t
 Interpreter::run(const std::string &fn, const std::vector<uint64_t> &args)
 {
@@ -263,17 +294,30 @@ Interpreter::callDecoded(Function *f, const uint64_t *args, size_t nargs,
     uint64_t ret;
     bool hooks = static_cast<bool>(onAssign) ||
                  static_cast<bool>(onMisspec);
-    if (profileEnabled_)
-        ret = hooks ? execDecoded<true, true>(df, base, depth)
-                    : execDecoded<false, true>(df, base, depth);
-    else
-        ret = hooks ? execDecoded<true, false>(df, base, depth)
-                    : execDecoded<false, false>(df, base, depth);
+    if (blockProfileEnabled_) {
+        if (profileEnabled_)
+            ret = hooks ? execDecoded<true, true, true>(df, base, depth)
+                        : execDecoded<false, true, true>(df, base, depth);
+        else
+            ret = hooks
+                      ? execDecoded<true, false, true>(df, base, depth)
+                      : execDecoded<false, false, true>(df, base, depth);
+    } else {
+        if (profileEnabled_)
+            ret = hooks
+                      ? execDecoded<true, true, false>(df, base, depth)
+                      : execDecoded<false, true, false>(df, base, depth);
+        else
+            ret = hooks
+                      ? execDecoded<true, false, false>(df, base, depth)
+                      : execDecoded<false, false, false>(df, base,
+                                                         depth);
+    }
     dstackTop_ = base;
     return ret;
 }
 
-template <bool kHooks, bool kProfile>
+template <bool kHooks, bool kProfile, bool kBlockProf>
 uint64_t
 Interpreter::execDecoded(const DecodedFunction &df, size_t base,
                          unsigned depth)
@@ -309,6 +353,14 @@ Interpreter::execDecoded(const DecodedFunction &df, size_t base,
     for (;;) {
         const DecodedBlock &blk = df.block(cur);
 
+        // Per-block heat cell for the current block; compiled out
+        // entirely when the block profile is off.
+        [[maybe_unused]] BlockCell *bc = nullptr;
+        if constexpr (kBlockProf) {
+            bc = blockCells_.data() + df.blockBase() + cur;
+            ++bc->entries;
+        }
+
         // Phase 1: the decode-time-sequentialised phi parallel copy
         // for the edge we arrived over.
         if (blk.hasPhis) {
@@ -327,6 +379,8 @@ Interpreter::execDecoded(const DecodedFunction &df, size_t base,
                 if (m->phi) {
                     ++steps;
                     ++assigns;
+                    if constexpr (kBlockProf)
+                        ++bc->insts;
                     if constexpr (kProfile)
                         profileAssign(m->profileId, requiredBits(v));
                     if constexpr (kHooks)
@@ -348,6 +402,8 @@ Interpreter::execDecoded(const DecodedFunction &df, size_t base,
                 flushCounters();
                 fatal("out of fuel (infinite loop?) in " + f->name());
             }
+            if constexpr (kBlockProf)
+                ++bc->insts;
 
             const DecodedOperand *ops = pool + di.opBegin;
             unsigned bits = di.bits;
@@ -520,8 +576,11 @@ Interpreter::execDecoded(const DecodedFunction &df, size_t base,
                 uint64_t r =
                     callDecoded(di.callee, ap, di.opCount, depth + 1);
                 reloadCounters();
-                // The frame stack may have grown (reallocated).
+                // The frame stack may have grown (reallocated), and
+                // decoding the callee may have grown the block cells.
                 fr = dstack_.data() + base;
+                if constexpr (kBlockProf)
+                    bc = blockCells_.data() + df.blockBase() + cur;
                 result = truncTo(r, bits);
                 break;
               }
@@ -568,6 +627,8 @@ Interpreter::execDecoded(const DecodedFunction &df, size_t base,
                      "speculative op outside a region in " +
                          df.blockName(cur));
             ++stats_.misspeculations;
+            if constexpr (kBlockProf)
+                ++bc->misspecs;
             if constexpr (kHooks)
                 if (onMisspec)
                     onMisspec(di.inst);

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 
+#include "support/env.h"
 #include "support/error.h"
 
 namespace bitspec
@@ -55,6 +58,39 @@ fmtNum(double v)
     }
     return buf;
 }
+
+/** Reads BITSPEC_METRICS once at static-init time and registers the
+ *  at-exit export of the global registry as JSON lines (the trace
+ *  sink's BITSPEC_TRACE twin). */
+struct EnvInit
+{
+    EnvInit()
+    {
+        std::string path = env::getString("BITSPEC_METRICS");
+        if (path.empty())
+            return;
+        static std::string s_path;
+        s_path = path;
+        // Construct the singleton *before* registering the handler:
+        // its destructor then outlives the export (atexit runs in
+        // reverse registration order).
+        MetricsRegistry::global();
+        std::atexit([] {
+            std::ofstream os(s_path);
+            if (!os) {
+                std::fprintf(stderr,
+                             "BITSPEC_METRICS: cannot write %s\n",
+                             s_path.c_str());
+                return;
+            }
+            MetricsRegistry::global().writeJsonLines(os);
+            std::fprintf(stderr, "BITSPEC_METRICS: wrote %s\n",
+                         s_path.c_str());
+        });
+    }
+};
+
+EnvInit g_envInit;
 
 } // namespace
 
@@ -120,7 +156,6 @@ MetricsRegistry::snapshot() const
     std::lock_guard<std::mutex> lock(mu_);
     std::vector<MetricSample> out;
     out.reserve(instruments_.size());
-    // std::map iteration is already key-sorted.
     for (const auto &[key, inst] : instruments_) {
         MetricSample s;
         s.name = inst.name;
@@ -140,6 +175,15 @@ MetricsRegistry::snapshot() const
         }
         out.push_back(std::move(s));
     }
+    // Sort by (name, labels), NOT by map key: the key embeds labels as
+    // "name{k=v}" and '{' compares above '.', so "foo{a=1}" would sort
+    // after "foo.bar" — splitting a metric family apart in the output.
+    std::sort(out.begin(), out.end(),
+              [](const MetricSample &a, const MetricSample &b) {
+                  if (a.name != b.name)
+                      return a.name < b.name;
+                  return a.labels < b.labels;
+              });
     return out;
 }
 

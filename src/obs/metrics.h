@@ -18,9 +18,13 @@
  * Thread safety: instrument handles are stable pointers; Counter adds
  * are a single relaxed atomic RMW, Gauge sets a relaxed store, and
  * Histogram records take a per-instrument mutex. Registration takes
- * the registry mutex. Snapshots are sorted by key, so output is
- * deterministic regardless of recording interleavings — only ordering
- * is deterministic; values of timing histograms naturally vary.
+ * the registry mutex. Snapshots are sorted by (name, labels), so
+ * output is deterministic regardless of recording interleavings and
+ * metric families stay contiguous — only ordering is deterministic;
+ * values of timing histograms naturally vary.
+ *
+ * Set BITSPEC_METRICS=<path> to export the global registry as JSON
+ * lines at process exit (the machine sink's BITSPEC_TRACE twin).
  */
 
 #ifndef BITSPEC_OBS_METRICS_H_

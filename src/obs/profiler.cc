@@ -1,0 +1,292 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+
+#include "obs/trace.h"
+#include "support/error.h"
+#include "support/str.h"
+
+namespace bitspec
+{
+
+BlockMap::BlockMap(const MachProgram &prog)
+{
+    info_.resize(prog.flat.size());
+
+    for (const MachFunction &mf : prog.funcs) {
+        const uint32_t base = prog.indexOf(mf.baseAddr);
+        const uint32_t spec_insts = mf.delta / kInstBytes;
+
+        // Recover each block's emitted [start, end) range from
+        // blockIndex, exactly as AttributionMap does: ranges are
+        // delimited by the next-larger start, and speculative-area
+        // (member) blocks are clamped to the speculative area because
+        // their Eq. 1/2 skeleton slots sit between them and the next
+        // laid-out block.
+        std::vector<std::pair<uint32_t, int>> starts; // (index, block)
+        starts.reserve(mf.blockIndex.size());
+        for (const auto &[block_id, start] : mf.blockIndex)
+            starts.emplace_back(start, block_id);
+        std::sort(starts.begin(), starts.end());
+
+        for (size_t k = 0; k < starts.size(); ++k) {
+            const auto [start, block_id] = starts[k];
+            const MachBlock &mb =
+                mf.blocks[static_cast<size_t>(block_id)];
+            uint32_t end = k + 1 < starts.size()
+                               ? starts[k + 1].first
+                               : static_cast<uint32_t>(mf.code.size());
+            const bool member = !mb.isHandler && mb.handlerBlock >= 0;
+            if (member)
+                end = std::min(end, spec_insts);
+
+            BlockSite site;
+            site.function = mf.name;
+            site.block = mb.name;
+            site.blockId = mb.id;
+            site.regionId = mb.regionId;
+            site.srcLine = mb.regionSrcLine;
+            site.isHandler = mb.isHandler;
+            site.startIndex = base + start;
+            site.staticInsts =
+                end > start ? (end - start) * (member ? 2 : 1) : 0;
+            sites_.push_back(std::move(site));
+            const auto s = static_cast<int32_t>(sites_.size() - 1);
+
+            for (uint32_t j = start; j < end; ++j) {
+                IndexInfo &ii = info_[base + j];
+                ii.site = s;
+                ii.head = j == start;
+                if (member) {
+                    // The skeleton slot of member instruction j sits
+                    // at j + Delta/4; fold it into the member block.
+                    IndexInfo &sk = info_[base + spec_insts + j];
+                    sk.site = s;
+                    sk.head = false;
+                }
+            }
+        }
+    }
+
+    // Everything not claimed by a function block is the linker's
+    // _start stub (one synthetic site completes the partition).
+    int32_t stub = -1;
+    for (size_t i = 0; i < info_.size(); ++i) {
+        if (info_[i].site >= 0)
+            continue;
+        if (stub < 0) {
+            BlockSite site;
+            site.function = "_start";
+            site.block = "_start";
+            site.startIndex = static_cast<uint32_t>(i);
+            sites_.push_back(std::move(site));
+            stub = static_cast<int32_t>(sites_.size() - 1);
+            info_[i].head = true;
+        }
+        info_[i].site = stub;
+        ++sites_[static_cast<size_t>(stub)].staticInsts;
+    }
+}
+
+uint64_t
+BlockProfilerSink::totalInsts() const
+{
+    uint64_t n = unattributed_;
+    for (const BlockActivity &a : activity_)
+        n += a.insts;
+    return n;
+}
+
+uint64_t
+BlockProfilerSink::totalCycles() const
+{
+    uint64_t n = 0;
+    for (const BlockActivity &a : activity_)
+        n += a.cycles;
+    return n;
+}
+
+uint64_t
+BlockProfilerSink::totalMisspecs() const
+{
+    uint64_t n = 0;
+    for (const BlockActivity &a : activity_)
+        n += a.misspecs;
+    return n;
+}
+
+std::vector<HeatRow>
+buildHeatReport(const BlockMap &map, const BlockProfilerSink &sink,
+                const HeatReportInputs &inputs)
+{
+    const auto &sites = map.sites();
+    const auto &activity = sink.activity();
+    bsAssert(sites.size() == activity.size(),
+             "heat report: sink built from a different map");
+
+    const uint64_t tot_insts = sink.totalInsts();
+    const uint64_t tot_cycles = sink.totalCycles();
+    const uint64_t tot_misspecs = sink.totalMisspecs();
+
+    // Exact energy split: the cycle-proportional pipeline cost and the
+    // per-misspec recovery cost are attributed directly; every other
+    // event energy (ALU, RF, caches) is apportioned by retired
+    // instructions. The three parts sum back to totalEnergyPj.
+    const double remainder =
+        inputs.totalEnergyPj -
+        inputs.energy.pipelinePerCycle *
+            static_cast<double>(tot_cycles) -
+        inputs.energy.misspecRecovery *
+            static_cast<double>(tot_misspecs);
+
+    std::vector<HeatRow> rows;
+    rows.reserve(sites.size());
+    for (size_t i = 0; i < sites.size(); ++i) {
+        HeatRow row;
+        row.site = sites[i];
+        row.activity = activity[i];
+        row.cyclesPct =
+            tot_cycles ? 100.0 *
+                             static_cast<double>(row.activity.cycles) /
+                             static_cast<double>(tot_cycles)
+                       : 0.0;
+        row.ipc = row.activity.cycles
+                      ? static_cast<double>(row.activity.insts) /
+                            static_cast<double>(row.activity.cycles)
+                      : 0.0;
+        if (inputs.totalEnergyPj > 0) {
+            row.energyPj =
+                inputs.energy.pipelinePerCycle *
+                    static_cast<double>(row.activity.cycles) +
+                inputs.energy.misspecRecovery *
+                    static_cast<double>(row.activity.misspecs) +
+                (tot_insts
+                     ? remainder *
+                           (static_cast<double>(row.activity.insts) /
+                            static_cast<double>(tot_insts))
+                     : 0.0);
+        }
+        rows.push_back(std::move(row));
+    }
+
+    std::sort(rows.begin(), rows.end(),
+              [](const HeatRow &a, const HeatRow &b) {
+                  if (a.activity.cycles != b.activity.cycles)
+                      return a.activity.cycles > b.activity.cycles;
+                  if (a.activity.insts != b.activity.insts)
+                      return a.activity.insts > b.activity.insts;
+                  return a.site.startIndex < b.site.startIndex;
+              });
+    return rows;
+}
+
+std::string
+formatHeatListing(const std::vector<HeatRow> &rows,
+                  const std::string &source_file, size_t top_n)
+{
+    std::string out = strFormat(
+        "%4s %-30s %-16s %-8s %10s %12s %12s %6s %6s %11s %9s\n", "#",
+        "block", "site", "kind", "entries", "insts", "cycles", "cyc%",
+        "ipc", "energy_pJ", "misspecs");
+    size_t shown = 0;
+    for (const HeatRow &r : rows) {
+        if (shown >= top_n || r.activity.insts == 0)
+            break;
+        std::string block = strFormat(
+            "%s:%s", r.site.function.c_str(), r.site.block.c_str());
+        std::string site =
+            r.site.srcLine > 0
+                ? strFormat("%s:%d", source_file.c_str(),
+                            r.site.srcLine)
+                : "-";
+        const char *kind = r.site.isHandler     ? "handler"
+                           : r.site.regionId >= 0 ? "region"
+                                                  : "plain";
+        out += strFormat(
+            "%4zu %-30s %-16s %-8s %10llu %12llu %12llu %6.2f %6.2f "
+            "%11.1f %9llu\n",
+            shown + 1, block.c_str(), site.c_str(), kind,
+            static_cast<unsigned long long>(r.activity.entries),
+            static_cast<unsigned long long>(r.activity.insts),
+            static_cast<unsigned long long>(r.activity.cycles),
+            r.cyclesPct, r.ipc, r.energyPj,
+            static_cast<unsigned long long>(r.activity.misspecs));
+        ++shown;
+    }
+    return out;
+}
+
+std::string
+foldedStacks(const std::vector<HeatRow> &rows,
+             const std::string &source_file)
+{
+    std::string out;
+    for (const HeatRow &r : rows) {
+        if (r.activity.cycles == 0)
+            continue;
+        std::string leaf =
+            r.site.isHandler ? r.site.block + "_(handler)"
+                             : r.site.block;
+        std::string mid =
+            r.site.regionId >= 0
+                ? strFormat("%s#region%d", r.site.function.c_str(),
+                            r.site.regionId)
+                : r.site.function;
+        std::string root =
+            r.site.srcLine > 0
+                ? strFormat("%s:%d", source_file.c_str(),
+                            r.site.srcLine)
+                : source_file;
+        out += strFormat("%s;%s;%s %llu\n", root.c_str(), mid.c_str(),
+                         leaf.c_str(),
+                         static_cast<unsigned long long>(
+                             r.activity.cycles));
+    }
+    return out;
+}
+
+void
+CounterTrackEmitter::finish(const ActivityCounters &c,
+                            const MemoryHierarchy &mem, uint64_t cycle)
+{
+    if (c.instructions > lastInsts_ || cycle > lastCycle_)
+        sample(c, mem, cycle);
+}
+
+void
+CounterTrackEmitter::sample(const ActivityCounters &c,
+                            const MemoryHierarchy &mem, uint64_t cycle)
+{
+    const uint64_t d_insts = c.instructions - lastInsts_;
+    const uint64_t d_cycles = cycle - lastCycle_;
+    const uint64_t d_misspecs = c.misspeculations - lastMisspecs_;
+    const CacheStats &l1d = mem.l1d();
+    const uint64_t d_acc = l1d.accesses - lastL1dAccesses_;
+    const uint64_t d_miss = l1d.misses - lastL1dMisses_;
+
+    if (trace::enabled()) {
+        trace::counter("core.ipc", "counter",
+                       d_cycles ? static_cast<double>(d_insts) /
+                                      static_cast<double>(d_cycles)
+                                : 0.0);
+        trace::counter("core.misspec_per_kinst", "counter",
+                       d_insts ? 1000.0 *
+                                     static_cast<double>(d_misspecs) /
+                                     static_cast<double>(d_insts)
+                               : 0.0);
+        trace::counter("core.l1d_hit_pct", "counter",
+                       d_acc ? 100.0 *
+                                   static_cast<double>(d_acc - d_miss) /
+                                   static_cast<double>(d_acc)
+                             : 100.0);
+        ++samples_;
+    }
+
+    lastInsts_ = c.instructions;
+    lastCycle_ = cycle;
+    lastMisspecs_ = c.misspeculations;
+    lastL1dAccesses_ = l1d.accesses;
+    lastL1dMisses_ = l1d.misses;
+}
+
+} // namespace bitspec

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Guest-level per-block heat profiler: which MachBlocks burn the
+ * cycles, where they came from in the source, and how execution
+ * evolves over time.
+ *
+ * Three layers, mirroring obs/attribution:
+ *
+ *  - BlockMap statically partitions every flat code index of a linked
+ *    MachProgram into block sites — a *total* partition, unlike
+ *    AttributionMap's region-only view: the _start stub, handlers,
+ *    skeleton slots (folded into their member block) and plain blocks
+ *    are all covered, so dynamic per-block sums can reconcile exactly
+ *    against the Core's aggregate ActivityCounters.
+ *
+ *  - BlockProfilerSink is the hot-path recorder the Core drives when
+ *    attached (Core::setBlockProfiler): one array bump per retired
+ *    instruction, one null-pointer test per retire when detached —
+ *    the same contract as AttributionSink. Invariants (ctest-
+ *    enforced): sum of per-block insts == counters.instructions, sum
+ *    of cycles == counters.cycles, sum of misspecs ==
+ *    counters.misspeculations.
+ *
+ *  - The report layer renders a finished run three ways: a heat-ranked
+ *    annotated listing (top-N blocks by cycles with file:line
+ *    provenance), folded stacks (source line -> SpecRegion ->
+ *    MachBlock weighted by cycles) for flamegraph.pl / speedscope,
+ *    and — via CounterTrackEmitter — windowed IPC / misspec-rate /
+ *    cache-hit-rate samples emitted as Chrome trace-event 'C' counter
+ *    phases into the BITSPEC_TRACE stream, next to the execution
+ *    spans.
+ *
+ * Per-block energy is a model split, not a counter: pipeline energy
+ * follows cycles, recovery follows misspecs, and the remaining event
+ * energy is apportioned by retired instructions; the split sums back
+ * to the run's total energy by construction.
+ */
+
+#ifndef BITSPEC_OBS_PROFILER_H_
+#define BITSPEC_OBS_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "backend/mir.h"
+#include "energy/model.h"
+#include "uarch/cache.h"
+#include "uarch/counters.h"
+
+namespace bitspec
+{
+
+/** Static identity of one profiled block site. */
+struct BlockSite
+{
+    std::string function;
+    std::string block;       ///< MachBlock name ("_start" for the stub).
+    int blockId = -1;        ///< MachBlock id; -1 for the stub site.
+    int regionId = -1;       ///< SpecRegion id, or -1 outside regions.
+    int srcLine = 0;         ///< Region source line; 0 when unknown.
+    bool isHandler = false;
+    uint32_t startIndex = 0; ///< First flat index of the block.
+    uint32_t staticInsts = 0; ///< Emitted instructions (incl. skeleton).
+};
+
+/**
+ * Immutable flat-index -> block-site partition for one program.
+ * Every index of prog.flat maps to exactly one site; Eq. 1/2 skeleton
+ * slots map to the member block that owns them (slot j serves member
+ * instruction j, paper §3.4).
+ */
+class BlockMap
+{
+  public:
+    explicit BlockMap(const MachProgram &prog);
+
+    const std::vector<BlockSite> &sites() const { return sites_; }
+
+    /** Site index at @p idx, or -1 out of range. */
+    int
+    siteAt(uint32_t idx) const
+    {
+        return idx < info_.size() ? info_[idx].site : -1;
+    }
+
+    /** True when @p idx is the first instruction of its block (used
+     *  to count block entries on the fall-through-free stub too). */
+    bool
+    isBlockHead(uint32_t idx) const
+    {
+        return idx < info_.size() && info_[idx].head;
+    }
+
+    size_t numIndices() const { return info_.size(); }
+
+  private:
+    friend class BlockProfilerSink;
+
+    struct IndexInfo
+    {
+        int32_t site = -1;
+        bool head = false;
+    };
+
+    std::vector<IndexInfo> info_;
+    std::vector<BlockSite> sites_;
+};
+
+/** Dynamic per-block tallies of one run. */
+struct BlockActivity
+{
+    uint64_t entries = 0;  ///< Retirements of the block head.
+    uint64_t insts = 0;    ///< Instructions retired in the block.
+    uint64_t cycles = 0;   ///< Cycles charged to those retirements.
+    uint64_t misspecs = 0; ///< Misspeculations raised in the block.
+};
+
+/**
+ * Recorder attached to a Core run (Core::setBlockProfiler). The Core
+ * calls onInst for every retired instruction with its cycle cost and
+ * onMisspec for every misspeculation redirect — the same
+ * one-null-test-per-retire pattern as AttributionSink.
+ */
+class BlockProfilerSink
+{
+  public:
+    /** @p map must outlive the sink. */
+    explicit BlockProfilerSink(const BlockMap &map) : map_(&map)
+    {
+        activity_.resize(map.sites().size());
+    }
+
+    void
+    onInst(uint32_t idx, uint64_t cycles)
+    {
+        if (idx >= map_->info_.size()) {
+            ++unattributed_;
+            return;
+        }
+        const BlockMap::IndexInfo &ii = map_->info_[idx];
+        BlockActivity &a = activity_[static_cast<size_t>(ii.site)];
+        a.entries += ii.head;
+        ++a.insts;
+        a.cycles += cycles;
+    }
+
+    void
+    onMisspec(uint32_t idx)
+    {
+        if (idx >= map_->info_.size()) {
+            ++unattributed_;
+            return;
+        }
+        ++activity_[static_cast<size_t>(map_->info_[idx].site)]
+              .misspecs;
+    }
+
+    const std::vector<BlockActivity> &activity() const
+    {
+        return activity_;
+    }
+
+    /** @name Aggregates; tests assert these equal the corresponding
+     *  ActivityCounters fields exactly. */
+    /// @{
+    uint64_t totalInsts() const;
+    uint64_t totalCycles() const;
+    uint64_t totalMisspecs() const;
+    /// @}
+
+    /** Events at indices outside the map (always 0 — the map is a
+     *  total partition; kept as a tripwire like AttributionSink's). */
+    uint64_t unattributed() const { return unattributed_; }
+
+  private:
+    const BlockMap *map_;
+    std::vector<BlockActivity> activity_;
+    uint64_t unattributed_ = 0;
+};
+
+/** One row of the heat report, ranked by cycles. */
+struct HeatRow
+{
+    BlockSite site;
+    BlockActivity activity;
+    double cyclesPct = 0; ///< Share of the run's total cycles.
+    double ipc = 0;       ///< insts / cycles within the block.
+    double energyPj = 0;  ///< Model split (see file comment).
+};
+
+/** Inputs for the heat report's derived columns. */
+struct HeatReportInputs
+{
+    EnergyParams energy;
+    /** Run total energy in pJ; 0 disables the energy column. */
+    double totalEnergyPj = 0;
+};
+
+/**
+ * Fold one finished run into heat rows sorted by cycles descending
+ * (never-executed blocks sort last). The energy column splits
+ * @p inputs.totalEnergyPj exactly: pipelinePerCycle * cycles +
+ * misspecRecovery * misspecs per block, remainder proportional to
+ * retired instructions — so the rows sum back to the total.
+ */
+std::vector<HeatRow> buildHeatReport(const BlockMap &map,
+                                     const BlockProfilerSink &sink,
+                                     const HeatReportInputs &inputs);
+
+/**
+ * Render the top @p top_n executed rows as an annotated listing.
+ * @p source_file labels the file:line provenance column.
+ */
+std::string formatHeatListing(const std::vector<HeatRow> &rows,
+                              const std::string &source_file,
+                              size_t top_n);
+
+/**
+ * Folded-stack output for flamegraph.pl / speedscope: one line per
+ * executed block, "file:line;function#regionN;block weight" with the
+ * cycle count as the weight (frames without a region collapse to
+ * "file;function;block").
+ */
+std::string foldedStacks(const std::vector<HeatRow> &rows,
+                         const std::string &source_file);
+
+/**
+ * Windowed counter tracks (Core::setCounterTracks): every
+ * @p window_insts retired instructions — and once more at run end —
+ * emits the window's IPC, misspeculations per kilo-instruction and
+ * L1D hit rate as Chrome trace-event 'C' counter phases
+ * ("core.ipc", "core.misspec_per_kinst", "core.l1d_hit_pct") through
+ * obs/trace, so Perfetto shows the time series merged into the
+ * BITSPEC_TRACE stream. All samples are window deltas, not running
+ * averages. No-op while tracing is disabled.
+ */
+class CounterTrackEmitter
+{
+  public:
+    static constexpr uint64_t kDefaultWindowInsts = 8192;
+
+    explicit CounterTrackEmitter(
+        uint64_t window_insts = kDefaultWindowInsts)
+        : window_(window_insts ? window_insts : 1)
+    {
+    }
+
+    /** Hot path: cheap count-down test per retire; samples at window
+     *  boundaries only. */
+    void
+    onRetire(const ActivityCounters &c, const MemoryHierarchy &mem,
+             uint64_t cycle)
+    {
+        if (c.instructions - lastInsts_ >= window_)
+            sample(c, mem, cycle);
+    }
+
+    /** Flush the final partial window (called by Core at halt). */
+    void finish(const ActivityCounters &c, const MemoryHierarchy &mem,
+                uint64_t cycle);
+
+    uint64_t samplesEmitted() const { return samples_; }
+
+  private:
+    void sample(const ActivityCounters &c, const MemoryHierarchy &mem,
+                uint64_t cycle);
+
+    uint64_t window_;
+    uint64_t samples_ = 0;
+    uint64_t lastInsts_ = 0;
+    uint64_t lastCycle_ = 0;
+    uint64_t lastMisspecs_ = 0;
+    uint64_t lastL1dAccesses_ = 0;
+    uint64_t lastL1dMisses_ = 0;
+};
+
+} // namespace bitspec
+
+#endif // BITSPEC_OBS_PROFILER_H_

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Persistent performance trajectory: a schema-versioned JSON-lines
+ * history of bench_smoke runs plus a regression gate over it.
+ *
+ * Every bench_smoke run distils BENCH_micro.json into one
+ * TrajectoryRecord (git sha, build type, debug flag, the key
+ * throughput/speedup series) and appends it to
+ * bench/history/BENCH_history.jsonl. The gate then compares the
+ * current record against a rolling baseline — the best value of each
+ * series over the last `window` comparable records — and fails when a
+ * gated series drops beyond its threshold. "Comparable" means the
+ * same debug flag: debug numbers are tagged at record time and can
+ * never become the baseline for release runs (or vice versa).
+ *
+ * Gated series are the higher-is-better ones, recognised by name
+ * prefix: "rate." (instructions/second) and "speedup.". Everything
+ * else rides along informationally. Thresholds are generous by
+ * default (shared machines swing); per-series overrides tighten the
+ * ones that matter.
+ *
+ * The file format is deliberately line-oriented and append-only so
+ * the history survives concurrent writers and partial writes: a
+ * corrupt or unknown-schema line is skipped on load, never fatal.
+ */
+
+#ifndef BITSPEC_OBS_TRAJECTORY_H_
+#define BITSPEC_OBS_TRAJECTORY_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bitspec
+{
+
+/** Current on-disk record schema. Bump on incompatible change; the
+ *  loader skips records with a newer schema than it understands. */
+constexpr int kTrajectorySchemaVersion = 1;
+
+/** One (name, value) measurement in a record. */
+struct TrajectorySeries
+{
+    std::string name;
+    double value = 0;
+};
+
+/** One bench run distilled for the history file. */
+struct TrajectoryRecord
+{
+    int schemaVersion = kTrajectorySchemaVersion;
+    std::string gitSha = "unknown";
+    std::string buildType; ///< From the bench JSON context.
+    std::string timestamp; ///< ISO-8601 UTC; informational only.
+    bool debugBuild = false;
+    /** Sorted by name (toJsonLine sorts; parse preserves). */
+    std::vector<TrajectorySeries> series;
+
+    /** Value of @p name, or nullopt when absent. */
+    std::optional<double> value(const std::string &name) const;
+};
+
+/** True when @p name is a higher-is-better gated series. */
+bool isGatedSeries(const std::string &name);
+
+/** Serialize as one JSON line (no trailing newline). */
+std::string toJsonLine(const TrajectoryRecord &rec);
+
+/** Parse one history line; nullopt for corrupt/blank/newer-schema
+ *  lines (the loader skips them). */
+std::optional<TrajectoryRecord> parseJsonLine(const std::string &line);
+
+/** All parseable records of @p path in file order; empty when the
+ *  file is missing. */
+std::vector<TrajectoryRecord> loadHistory(const std::string &path);
+
+/** Append @p rec to @p path (created if missing); false on I/O
+ *  error. */
+bool appendHistory(const std::string &path,
+                   const TrajectoryRecord &rec);
+
+/**
+ * Distil a BENCH_micro.json (google-benchmark output with the
+ * experiment_smoke sections spliced in) into a record: build type and
+ * debug flag from the context, rate.* series from the benchmark
+ * counters and the observability section, speedup.* from the
+ * experiment_engine grids. Sha/timestamp are left for the caller.
+ */
+TrajectoryRecord recordFromBenchJson(const std::string &json_text);
+
+/** Gate thresholds. A gated series fails when it drops more than its
+ *  threshold percent below the rolling baseline. */
+struct GateOptions
+{
+    size_t window = 5;          ///< Baseline = best of the last N.
+    double defaultDropPct = 25; ///< Shared machines swing; generous.
+    std::map<std::string, double> perSeriesDropPct;
+};
+
+/** Per-series gate verdict. */
+struct SeriesVerdict
+{
+    std::string name;
+    double current = 0;
+    double baseline = 0; ///< 0 when no comparable history exists.
+    double deltaPct = 0; ///< (current - baseline) / baseline * 100.
+    bool gated = false;  ///< Informational series never fail.
+    bool pass = true;
+};
+
+/** Whole-run gate result. */
+struct GateResult
+{
+    bool pass = true;
+    size_t baselineRuns = 0; ///< Comparable records considered.
+    std::vector<SeriesVerdict> verdicts;
+};
+
+/**
+ * Compare @p current against @p history. Baseline per series: the
+ * maximum value over the last opts.window records whose debugBuild
+ * flag matches @p current (older records and mismatched builds are
+ * ignored). A gated series with no baseline passes — fresh histories
+ * must not fail their first run.
+ */
+GateResult checkAgainstHistory(const TrajectoryRecord &current,
+                               const std::vector<TrajectoryRecord> &history,
+                               const GateOptions &opts = {});
+
+/** Render the verdicts as an aligned table. */
+std::string formatGateResult(const GateResult &result);
+
+} // namespace bitspec
+
+#endif // BITSPEC_OBS_TRAJECTORY_H_

@@ -12,6 +12,7 @@
  *  - BITSPEC_JOBS          worker threads for the experiment engine
  *  - BITSPEC_VERIFY_EACH   per-stage pipeline verification (bool)
  *  - BITSPEC_TRACE         path for the Chrome trace-event export
+ *  - BITSPEC_METRICS       path for the metrics JSON-lines export
  *  - BITSPEC_FIG16_IMAGES  Fig. 16 profile/run grid size
  */
 

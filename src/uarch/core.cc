@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/attribution.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "support/bits.h"
 #include "support/error.h"
@@ -208,6 +209,8 @@ Core::run(const std::vector<uint32_t> &args)
             ++counters_.misspeculations;
             if (attr_)
                 attr_->onMisspec(idx);
+            if (prof_)
+                prof_->onMisspec(idx);
             next = idx + delta_ / kInstBytes;
             cycle += kMisspecPenalty;
         };
@@ -477,7 +480,11 @@ Core::run(const std::vector<uint32_t> &args)
             if (lr == MachProgram::kHaltAddr) {
                 if (attr_)
                     attr_->onInst(idx, cycle - cycle_at_fetch);
+                if (prof_)
+                    prof_->onInst(idx, cycle - cycle_at_fetch);
                 finish(cycle);
+                if (tracks_)
+                    tracks_->finish(counters_, mem_, cycle);
                 return regs_[0];
             }
             next = prog_.indexOf(lr);
@@ -504,7 +511,11 @@ Core::run(const std::vector<uint32_t> &args)
           case MOp::HALT:
             if (attr_)
                 attr_->onInst(idx, cycle - cycle_at_fetch);
+            if (prof_)
+                prof_->onInst(idx, cycle - cycle_at_fetch);
             finish(cycle);
+            if (tracks_)
+                tracks_->finish(counters_, mem_, cycle);
             return regs_[0];
         }
 
@@ -513,6 +524,10 @@ Core::run(const std::vector<uint32_t> &args)
 
         if (attr_)
             attr_->onInst(idx, cycle - cycle_at_fetch);
+        if (prof_)
+            prof_->onInst(idx, cycle - cycle_at_fetch);
+        if (tracks_)
+            tracks_->onRetire(counters_, mem_, cycle);
         idx = next;
     }
 }

@@ -28,6 +28,8 @@ namespace bitspec
 {
 
 class AttributionSink;
+class BlockProfilerSink;
+class CounterTrackEmitter;
 
 /** Executes linked EMB32 programs. */
 class Core
@@ -67,6 +69,18 @@ class Core
      *  outlive the runs it observes. */
     void setAttribution(AttributionSink *sink) { attr_ = sink; }
 
+    /** Attach (or detach with nullptr) a per-block heat profiler for
+     *  subsequent runs; same hot-path contract as setAttribution. */
+    void setBlockProfiler(BlockProfilerSink *sink) { prof_ = sink; }
+
+    /** Attach (or detach with nullptr) a windowed counter-track
+     *  emitter (IPC / misspec rate / cache hit rate samples into the
+     *  trace stream); same hot-path contract as setAttribution. */
+    void setCounterTracks(CounterTrackEmitter *tracks)
+    {
+        tracks_ = tracks;
+    }
+
   private:
     struct Flags
     {
@@ -94,6 +108,8 @@ class Core
     uint64_t outputHash_ = kFnvOffset;
     uint64_t fuel_ = kDefaultFuel;
     AttributionSink *attr_ = nullptr;
+    BlockProfilerSink *prof_ = nullptr;
+    CounterTrackEmitter *tracks_ = nullptr;
 
     /** Scoreboard: cycle when each register's value is ready. */
     uint64_t readyAt_[16] = {};

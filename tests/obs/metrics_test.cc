@@ -67,6 +67,26 @@ TEST(Metrics, HistogramRecordsAndSnapshots)
     EXPECT_DOUBLE_EQ(snap.p50(), 2.5);
 }
 
+TEST(Metrics, SnapshotKeepsMetricFamiliesContiguous)
+{
+    // The registry keys instruments as "name{k=v}" and '{' sorts
+    // above '.', so raw key order would interleave "foo.bar" between
+    // "foo"'s labelled variants. The snapshot must sort by
+    // (name, labels) instead: all "foo" rows first, then "foo.bar".
+    MetricsRegistry reg;
+    reg.counter("foo", {{"a", "2"}}).add(1);
+    reg.counter("foo.bar").add(2);
+    reg.counter("foo", {{"a", "1"}}).add(3);
+    auto samples = reg.snapshot();
+    ASSERT_EQ(samples.size(), 3u);
+    EXPECT_EQ(samples[0].name, "foo");
+    ASSERT_EQ(samples[0].labels.size(), 1u);
+    EXPECT_EQ(samples[0].labels[0].second, "1");
+    EXPECT_EQ(samples[1].name, "foo");
+    EXPECT_EQ(samples[1].labels[0].second, "2");
+    EXPECT_EQ(samples[2].name, "foo.bar");
+}
+
 TEST(Metrics, SnapshotIsSortedAndComplete)
 {
     MetricsRegistry reg;

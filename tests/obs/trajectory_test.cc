@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "obs/trajectory.h"
+
+namespace bitspec
+{
+namespace
+{
+
+TrajectoryRecord
+makeRecord(double decoded_rate, bool debug = false)
+{
+    TrajectoryRecord rec;
+    rec.gitSha = "abc1234";
+    rec.buildType = debug ? "debug" : "release";
+    rec.timestamp = "2026-01-01T00:00:00Z";
+    rec.debugBuild = debug;
+    rec.series.push_back(
+        {"rate.interp_decoded_ir_per_s", decoded_rate});
+    rec.series.push_back({"speedup.fig08_matrix", 3.5});
+    rec.series.push_back({"obs.trace_overhead_pct", 0.4});
+    return rec;
+}
+
+/** Temp history file removed at scope exit. */
+struct TempHistory
+{
+    TempHistory()
+    {
+        path = (std::filesystem::temp_directory_path() /
+                ("bitspec_hist_" +
+                 std::to_string(
+                     static_cast<unsigned long long>(
+                         reinterpret_cast<uintptr_t>(this))) +
+                 ".jsonl"))
+                   .string();
+    }
+    ~TempHistory() { std::remove(path.c_str()); }
+    std::string path;
+};
+
+TEST(Trajectory, JsonLineRoundTrips)
+{
+    TrajectoryRecord rec = makeRecord(1.5e8);
+    std::string line = toJsonLine(rec);
+    auto back = parseJsonLine(line);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->schemaVersion, kTrajectorySchemaVersion);
+    EXPECT_EQ(back->gitSha, "abc1234");
+    EXPECT_EQ(back->buildType, "release");
+    EXPECT_EQ(back->timestamp, "2026-01-01T00:00:00Z");
+    EXPECT_FALSE(back->debugBuild);
+    ASSERT_EQ(back->series.size(), rec.series.size());
+    EXPECT_DOUBLE_EQ(
+        back->value("rate.interp_decoded_ir_per_s").value(), 1.5e8);
+    EXPECT_DOUBLE_EQ(back->value("speedup.fig08_matrix").value(), 3.5);
+
+    TrajectoryRecord dbg = makeRecord(1e6, /*debug=*/true);
+    auto dbg_back = parseJsonLine(toJsonLine(dbg));
+    ASSERT_TRUE(dbg_back.has_value());
+    EXPECT_TRUE(dbg_back->debugBuild);
+}
+
+TEST(Trajectory, CorruptAndNewerSchemaLinesAreSkipped)
+{
+    EXPECT_FALSE(parseJsonLine("").has_value());
+    EXPECT_FALSE(parseJsonLine("   \t ").has_value());
+    EXPECT_FALSE(parseJsonLine("not json at all").has_value());
+    EXPECT_FALSE(parseJsonLine("{\"schema_version\":999,"
+                               "\"series\":{\"rate.x\":1}}")
+                     .has_value());
+    // Truncated write: series value cut off mid-number is dropped.
+    EXPECT_FALSE(
+        parseJsonLine("{\"schema_version\":1,\"series\":{\"rate.x\":")
+            .has_value());
+
+    TempHistory h;
+    {
+        std::ofstream of(h.path);
+        of << toJsonLine(makeRecord(1e8)) << "\n";
+        of << "garbage line\n";
+        of << toJsonLine(makeRecord(2e8)) << "\n";
+    }
+    auto history = loadHistory(h.path);
+    ASSERT_EQ(history.size(), 2u);
+    EXPECT_DOUBLE_EQ(
+        history[1].value("rate.interp_decoded_ir_per_s").value(), 2e8);
+}
+
+TEST(Trajectory, AppendCreatesFileAndParentDirs)
+{
+    TempHistory h;
+    h.path += ".nested/deeper/hist.jsonl";
+    ASSERT_TRUE(appendHistory(h.path, makeRecord(1e8)));
+    ASSERT_TRUE(appendHistory(h.path, makeRecord(1.1e8)));
+    auto history = loadHistory(h.path);
+    EXPECT_EQ(history.size(), 2u);
+    std::filesystem::remove_all(
+        std::filesystem::path(h.path).parent_path().parent_path());
+}
+
+TEST(Trajectory, GatePassesOnEmptyHistory)
+{
+    GateResult r = checkAgainstHistory(makeRecord(1e8), {});
+    EXPECT_TRUE(r.pass);
+    EXPECT_EQ(r.baselineRuns, 0u);
+    for (const SeriesVerdict &v : r.verdicts)
+        EXPECT_TRUE(v.pass) << v.name;
+}
+
+TEST(Trajectory, GateFailsOnInjectedRegression)
+{
+    // Synthetic history whose decoded rate is far above the current
+    // run: the gate must fail on the drop.
+    std::vector<TrajectoryRecord> history;
+    history.push_back(makeRecord(2e8));
+    history.push_back(makeRecord(2.1e8));
+
+    TrajectoryRecord slow = makeRecord(1e8); // > 25% below 2.1e8.
+    GateResult r = checkAgainstHistory(slow, history);
+    EXPECT_FALSE(r.pass);
+    EXPECT_EQ(r.baselineRuns, 2u);
+    bool found = false;
+    for (const SeriesVerdict &v : r.verdicts) {
+        if (v.name != "rate.interp_decoded_ir_per_s")
+            continue;
+        found = true;
+        EXPECT_FALSE(v.pass);
+        EXPECT_TRUE(v.gated);
+        EXPECT_DOUBLE_EQ(v.baseline, 2.1e8);
+        EXPECT_LT(v.deltaPct, -25.0);
+    }
+    EXPECT_TRUE(found);
+    // The rendered table names the failure.
+    std::string table = formatGateResult(r);
+    EXPECT_NE(table.find("FAIL"), std::string::npos);
+
+    // A small wobble within the threshold passes.
+    GateResult ok = checkAgainstHistory(makeRecord(1.9e8), history);
+    EXPECT_TRUE(ok.pass);
+}
+
+TEST(Trajectory, UngatedSeriesNeverFail)
+{
+    std::vector<TrajectoryRecord> history;
+    history.push_back(makeRecord(1e8));
+    TrajectoryRecord cur = makeRecord(1e8);
+    // Blow up the informational overhead series; the gate ignores it.
+    for (TrajectorySeries &s : cur.series)
+        if (s.name == "obs.trace_overhead_pct")
+            s.value = 50.0;
+    GateResult r = checkAgainstHistory(cur, history);
+    EXPECT_TRUE(r.pass);
+}
+
+TEST(Trajectory, DebugAndReleaseBaselinesAreSeparate)
+{
+    // A fast release history must not gate a slow debug run.
+    std::vector<TrajectoryRecord> history;
+    history.push_back(makeRecord(2e8, /*debug=*/false));
+    history.push_back(makeRecord(2e8, /*debug=*/false));
+
+    TrajectoryRecord debug_run = makeRecord(1e7, /*debug=*/true);
+    GateResult r = checkAgainstHistory(debug_run, history);
+    EXPECT_TRUE(r.pass);
+    EXPECT_EQ(r.baselineRuns, 0u);
+
+    // And a debug baseline does gate the next debug run.
+    history.push_back(makeRecord(1e7, /*debug=*/true));
+    GateResult r2 =
+        checkAgainstHistory(makeRecord(1e6, /*debug=*/true), history);
+    EXPECT_FALSE(r2.pass);
+    EXPECT_EQ(r2.baselineRuns, 1u);
+}
+
+TEST(Trajectory, WindowAndPerSeriesThresholds)
+{
+    // Six records; the window of 5 must ignore the oldest (fastest).
+    std::vector<TrajectoryRecord> history;
+    history.push_back(makeRecord(9e8));
+    for (int i = 0; i < 5; ++i)
+        history.push_back(makeRecord(1e8));
+
+    GateOptions opts;
+    opts.window = 5;
+    GateResult r = checkAgainstHistory(makeRecord(0.9e8), history, opts);
+    EXPECT_TRUE(r.pass) << "9e8 outside the window must not gate";
+
+    // Per-series override tightens the default 25% threshold.
+    opts.perSeriesDropPct["rate.interp_decoded_ir_per_s"] = 5.0;
+    GateResult tight =
+        checkAgainstHistory(makeRecord(0.9e8), history, opts);
+    EXPECT_FALSE(tight.pass);
+}
+
+TEST(Trajectory, RecordFromBenchJsonExtractsSeries)
+{
+    const std::string json = R"({
+  "context": {
+    "date": "2026-08-08T00:00:00+00:00",
+    "library_build_type": "release"
+  },
+  "benchmarks": [
+    {
+      "name": "BM_InterpreterThroughput/decoded",
+      "ir_instrs_per_s": 1.23e8
+    },
+    {
+      "name": "BM_InterpreterThroughput/legacy",
+      "ir_instrs_per_s": 4.5e7
+    },
+    {
+      "name": "BM_CoreThroughput",
+      "machine_instrs_per_s": 6.7e7
+    }
+  ],
+  "experiment_engine": {
+    "grids": [
+      { "name": "fig08_matrix", "speedup": 3.2 }
+    ]
+  },
+  "observability": {
+    "disabled_rate": 1.2e8,
+    "enabled_overhead_pct": 0.5,
+    "prof_off_rate": 1.19e8,
+    "gate_within_1pct": true
+  }
+})";
+    TrajectoryRecord rec = recordFromBenchJson(json);
+    EXPECT_EQ(rec.buildType, "release");
+    EXPECT_FALSE(rec.debugBuild);
+    EXPECT_DOUBLE_EQ(
+        rec.value("rate.interp_decoded_ir_per_s").value(), 1.23e8);
+    EXPECT_DOUBLE_EQ(
+        rec.value("rate.interp_legacy_ir_per_s").value(), 4.5e7);
+    EXPECT_DOUBLE_EQ(rec.value("rate.core_machine_per_s").value(),
+                     6.7e7);
+    EXPECT_DOUBLE_EQ(rec.value("speedup.fig08_matrix").value(), 3.2);
+    EXPECT_DOUBLE_EQ(rec.value("rate.obs_disabled_ir_per_s").value(),
+                     1.2e8);
+    EXPECT_DOUBLE_EQ(rec.value("rate.obs_prof_off_ir_per_s").value(),
+                     1.19e8);
+    EXPECT_DOUBLE_EQ(rec.value("obs.trace_overhead_pct").value(), 0.5);
+    EXPECT_FALSE(rec.value("rate.no_such_series").has_value());
+
+    TrajectoryRecord dbg = recordFromBenchJson(
+        R"({"context": {"library_build_type": "debug"}})");
+    EXPECT_TRUE(dbg.debugBuild);
+}
+
+} // namespace
+} // namespace bitspec
