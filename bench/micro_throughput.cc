@@ -63,7 +63,7 @@ BM_InterpreterProfiledThroughput(benchmark::State &state,
         Interpreter in(*mod);
         in.setEngine(engine);
         profile.profileRun(in, "main", {8});
-        steps = in.stats().steps;
+        steps += in.stats().steps; // Fresh interpreter per iteration.
         benchmark::DoNotOptimize(profile.totalAssignments());
     }
     state.counters["ir_instrs_per_s"] = benchmark::Counter(
@@ -71,15 +71,32 @@ BM_InterpreterProfiledThroughput(benchmark::State &state,
 }
 
 void
-BM_CoreThroughput(benchmark::State &state)
+BM_CoreThroughput(benchmark::State &state, CoreEngine engine)
 {
     auto mod = compileSource(kKernel);
     CompiledProgram cp = compileModule(*mod, TargetISA::Baseline);
+    // kIsRate divides the counter by the TOTAL elapsed time of every
+    // iteration, so the retire count must accumulate across
+    // iterations (core counters restart per run, unlike the
+    // interpreter's cumulative stats().steps above).
     uint64_t instrs = 0;
-    for (auto _ : state) {
-        Core core(cp.program, *mod);
-        core.run({64});
-        instrs = core.counters().instructions;
+    if (engine == CoreEngine::Fast) {
+        // Pre-decode is per-program, outside the timed loop (System
+        // builds it once); the persistent core reuses its block memos
+        // across iterations, like System's compile-once/run-many.
+        PredecodedProgram pre(cp.program);
+        FastCore core(pre, *mod);
+        for (auto _ : state) {
+            core.reset();
+            core.run({64});
+            instrs += core.counters().instructions;
+        }
+    } else {
+        for (auto _ : state) {
+            Core core(cp.program, *mod);
+            core.run({64});
+            instrs += core.counters().instructions;
+        }
     }
     state.counters["machine_instrs_per_s"] = benchmark::Counter(
         static_cast<double>(instrs), benchmark::Counter::kIsRate);
@@ -127,7 +144,8 @@ BENCHMARK_CAPTURE(BM_InterpreterProfiledThroughput, decoded,
                   ExecEngine::Decoded);
 BENCHMARK_CAPTURE(BM_InterpreterProfiledThroughput, legacy,
                   ExecEngine::Legacy);
-BENCHMARK(BM_CoreThroughput);
+BENCHMARK_CAPTURE(BM_CoreThroughput, legacy, CoreEngine::Legacy);
+BENCHMARK_CAPTURE(BM_CoreThroughput, fast, CoreEngine::Fast);
 BENCHMARK(BM_CompileBaseline);
 BENCHMARK(BM_SqueezePipeline);
 BENCHMARK(BM_FullSystemBuild);

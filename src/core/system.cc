@@ -7,9 +7,29 @@
 #include "obs/profiler.h"
 #include "obs/trace.h"
 #include "profile/bitwidth_profile.h"
+#include "support/env.h"
+#include "support/error.h"
 
 namespace bitspec
 {
+
+namespace
+{
+
+CoreEngine
+engineFromEnv()
+{
+    const std::string v =
+        env::getString("BITSPEC_CORE_ENGINE", "fast");
+    if (v == "fast")
+        return CoreEngine::Fast;
+    if (v == "legacy")
+        return CoreEngine::Legacy;
+    fatal("BITSPEC_CORE_ENGINE must be \"fast\" or \"legacy\", got "
+          "\"" + v + "\"");
+}
+
+} // namespace
 
 SystemConfig
 SystemConfig::baseline()
@@ -59,7 +79,7 @@ SystemConfig::dtsPlusBitspec(Heuristic h)
 System::System(const std::string &source, const SystemConfig &config,
                const std::function<void(Module &)> &train_input,
                const std::vector<uint64_t> &train_args)
-    : config_(config)
+    : config_(config), engine_(engineFromEnv())
 {
     trace::Span span("system.build", "compile");
     span.arg("squeeze", config_.squeeze ? "1" : "0");
@@ -103,6 +123,19 @@ System::System(const std::string &source, const SystemConfig &config,
         globalSnapshot_.emplace_back(g.get(), g->data());
 }
 
+void
+System::setCoreEngine(CoreEngine engine)
+{
+    if (engine == engine_)
+        return;
+    engine_ = engine;
+    // Rebuilt lazily on the next fast run; dropping the memos here
+    // mirrors Interpreter::invalidate() — no state may be carried
+    // across an engine switch.
+    fastCore_.reset();
+    predecoded_.reset();
+}
+
 RunResult
 System::run(const std::function<void(Module &)> &run_input,
             const std::vector<uint32_t> &args)
@@ -130,28 +163,57 @@ System::run(const std::function<void(Module &)> &run_input,
     if (run_input)
         run_input(*module_);
 
-    Core core(compiled_.program, *module_);
-    if (observers.attribution)
-        core.setAttribution(observers.attribution);
-    if (observers.blocks)
-        core.setBlockProfiler(observers.blocks);
     // Any traced run gets counter tracks alongside its spans unless
     // the caller brought its own emitter.
     CounterTrackEmitter traced_tracks;
-    if (observers.tracks)
-        core.setCounterTracks(observers.tracks);
-    else if (trace::enabled())
-        core.setCounterTracks(&traced_tracks);
-    RunResult out;
-    out.returnValue = core.run(args);
-    out.outputChecksum = core.outputChecksum();
-    out.counters = core.counters();
-    out.l1i = core.memory().l1i();
-    out.l1d = core.memory().l1d();
-    out.l2 = core.memory().l2();
-    out.dram = core.memory().dram();
+    CounterTrackEmitter *tracks = observers.tracks;
+    if (!tracks && trace::enabled())
+        tracks = &traced_tracks;
 
-    out.energy = computeEnergy(core, config_.energy);
+    RunResult out;
+    if (engine_ == CoreEngine::Fast) {
+        if (!fastCore_) {
+            predecoded_ = std::make_unique<PredecodedProgram>(
+                compiled_.program);
+            fastCore_ =
+                std::make_unique<FastCore>(*predecoded_, *module_);
+        } else {
+            // Fresh run state (the constructor's reset covered the
+            // first run); block memos survive — they depend only on
+            // the immutable pre-decoded code.
+            fastCore_->reset();
+        }
+        FastCore &core = *fastCore_;
+        core.setAttribution(observers.attribution);
+        core.setBlockProfiler(observers.blocks);
+        core.setCounterTracks(tracks);
+        out.returnValue = core.run(args);
+        out.outputChecksum = core.outputChecksum();
+        out.counters = core.counters();
+        out.l1i = core.memory().l1i();
+        out.l1d = core.memory().l1d();
+        out.l2 = core.memory().l2();
+        out.dram = core.memory().dram();
+        out.energy =
+            computeEnergy(core.counters(), core.memory(),
+                          config_.energy);
+    } else {
+        Core core(compiled_.program, *module_);
+        if (observers.attribution)
+            core.setAttribution(observers.attribution);
+        if (observers.blocks)
+            core.setBlockProfiler(observers.blocks);
+        if (tracks)
+            core.setCounterTracks(tracks);
+        out.returnValue = core.run(args);
+        out.outputChecksum = core.outputChecksum();
+        out.counters = core.counters();
+        out.l1i = core.memory().l1i();
+        out.l1d = core.memory().l1d();
+        out.l2 = core.memory().l2();
+        out.dram = core.memory().dram();
+        out.energy = computeEnergy(core, config_.energy);
+    }
     if (config_.dts) {
         DtsResult d =
             applyDts(out.energy, out.counters, config_.dtsParams);

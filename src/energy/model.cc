@@ -6,9 +6,13 @@ namespace bitspec
 EnergyBreakdown
 computeEnergy(const Core &core, const EnergyParams &p)
 {
-    const ActivityCounters &c = core.counters();
-    const MemoryHierarchy &m = core.memory();
+    return computeEnergy(core.counters(), core.memory(), p);
+}
 
+EnergyBreakdown
+computeEnergy(const ActivityCounters &c, const MemoryHierarchy &m,
+              const EnergyParams &p)
+{
     EnergyBreakdown e;
     e.alu = p.alu32 * static_cast<double>(c.alu32) +
             p.alu8 * static_cast<double>(c.alu8) +

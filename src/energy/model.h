@@ -60,6 +60,12 @@ struct EnergyBreakdown
     }
 };
 
+/** Evaluate the model on one finished run's raw observables (any
+ *  core engine). */
+EnergyBreakdown computeEnergy(const ActivityCounters &counters,
+                              const MemoryHierarchy &mem,
+                              const EnergyParams &params = {});
+
 /** Evaluate the model on one finished core run. */
 EnergyBreakdown computeEnergy(const Core &core,
                               const EnergyParams &params = {});

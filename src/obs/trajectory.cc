@@ -237,8 +237,21 @@ recordFromBenchJson(const std::string &json_text)
     add("rate.interp_profiled_ir_per_s",
         bench_counter("BM_InterpreterProfiledThroughput/decoded",
                       "ir_instrs_per_s"));
-    add("rate.core_machine_per_s",
-        bench_counter("BM_CoreThroughput", "machine_instrs_per_s"));
+    // Core engine A/B. The bare BM_CoreThroughput name is the pre-A/B
+    // spelling of the legacy series; accept both so older BENCH_micro
+    // files keep producing the gated legacy rate.
+    auto core_legacy = bench_counter("BM_CoreThroughput/legacy",
+                                     "machine_instrs_per_s");
+    if (!core_legacy)
+        core_legacy =
+            bench_counter("BM_CoreThroughput", "machine_instrs_per_s");
+    auto core_fast = bench_counter("BM_CoreThroughput/fast",
+                                   "machine_instrs_per_s");
+    add("rate.core_machine_per_s", core_legacy);
+    add("rate.core_fast_machine_per_s", core_fast);
+    if (core_legacy && core_fast && *core_legacy > 0 && *core_fast > 0)
+        rec.series.push_back({"speedup.core_fast_vs_legacy",
+                              *core_fast / *core_legacy});
 
     // experiment_smoke's observability section.
     size_t obs = json_text.find("\"observability\":");
@@ -328,9 +341,14 @@ formatGateResult(const GateResult &result)
                          v.name.c_str(), v.current, v.baseline,
                          v.deltaPct, verdict);
     }
-    out += strFormat("baseline runs considered: %zu; gate %s\n",
-                     result.baselineRuns,
-                     result.pass ? "PASS" : "FAIL");
+    if (result.baselineRuns == 0)
+        out += strFormat(
+            "no baseline, recording only; gate %s\n",
+            result.pass ? "PASS" : "FAIL");
+    else
+        out += strFormat("baseline runs considered: %zu; gate %s\n",
+                         result.baselineRuns,
+                         result.pass ? "PASS" : "FAIL");
     return out;
 }
 

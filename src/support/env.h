@@ -14,6 +14,7 @@
  *  - BITSPEC_TRACE         path for the Chrome trace-event export
  *  - BITSPEC_METRICS       path for the metrics JSON-lines export
  *  - BITSPEC_FIG16_IMAGES  Fig. 16 profile/run grid size
+ *  - BITSPEC_CORE_ENGINE   uarch engine: "fast" (default) | "legacy"
  */
 
 #ifndef BITSPEC_SUPPORT_ENV_H_

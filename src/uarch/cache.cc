@@ -20,6 +20,14 @@ Cache::access(uint32_t addr, bool is_write)
     ++stats_.accesses;
     ++tick_;
     uint32_t line_addr = addr / lineBytes_;
+    // Same-line fast path: sequential fetch and streaming data hit
+    // the line they just touched; skip the way search.
+    if (line_addr == lastLineAddr_) {
+        Line &l = lines_[lastIdx_];
+        l.lastUse = tick_;
+        l.dirty |= is_write;
+        return true;
+    }
     uint32_t set = line_addr % sets_;
     uint32_t tag = line_addr / sets_;
     Line *ways = &lines_[set * assoc_];
@@ -28,6 +36,8 @@ Cache::access(uint32_t addr, bool is_write)
         if (ways[w].valid && ways[w].tag == tag) {
             ways[w].lastUse = tick_;
             ways[w].dirty |= is_write;
+            lastLineAddr_ = line_addr;
+            lastIdx_ = set * assoc_ + w;
             return true;
         }
     }
@@ -46,7 +56,80 @@ Cache::access(uint32_t addr, bool is_write)
     if (ways[victim].valid && ways[victim].dirty)
         ++stats_.writebacks;
     ways[victim] = Line{true, is_write, tag, tick_};
+    ++fillGen_; // Invalidates every recorded (address, slot) pin.
+    // The fill may have evicted the memoized line; re-point the memo
+    // at the line just installed so it can never reference a stale
+    // (line_addr, index) pair.
+    lastLineAddr_ = line_addr;
+    lastIdx_ = set * assoc_ + victim;
     return false;
+}
+
+bool
+Cache::peek(uint32_t addr) const
+{
+    uint32_t line_addr = addr / lineBytes_;
+    // The memoized line is resident by invariant; no state to update.
+    if (line_addr == lastLineAddr_)
+        return true;
+    uint32_t set = line_addr % sets_;
+    uint32_t tag = line_addr / sets_;
+    const Line *ways = &lines_[set * assoc_];
+    for (uint32_t w = 0; w < assoc_; ++w)
+        if (ways[w].valid && ways[w].tag == tag)
+            return true;
+    return false;
+}
+
+int32_t
+Cache::residentSlotOf(uint32_t addr) const
+{
+    uint32_t line_addr = addr / lineBytes_;
+    uint32_t set = line_addr % sets_;
+    uint32_t tag = line_addr / sets_;
+    const Line *ways = &lines_[set * assoc_];
+    for (uint32_t w = 0; w < assoc_; ++w)
+        if (ways[w].valid && ways[w].tag == tag)
+            return static_cast<int32_t>(set * assoc_ + w);
+    return -1;
+}
+
+void
+Cache::commitHitsAt(uint32_t slot, uint64_t count)
+{
+    stats_.accesses += count;
+    tick_ += count;
+    lines_[slot].lastUse = tick_;
+}
+
+void
+Cache::commitHits(uint32_t addr, uint64_t count)
+{
+    uint32_t line_addr = addr / lineBytes_;
+    if (line_addr == lastLineAddr_) {
+        // Replayed blocks commit the same line(s) back to back; skip
+        // the way search like access() does.
+        stats_.accesses += count;
+        tick_ += count;
+        lines_[lastIdx_].lastUse = tick_;
+        return;
+    }
+    uint32_t set = line_addr % sets_;
+    uint32_t tag = line_addr / sets_;
+    Line *ways = &lines_[set * assoc_];
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        if (ways[w].valid && ways[w].tag == tag) {
+            stats_.accesses += count;
+            tick_ += count;
+            // count back-to-back hits leave lastUse at the final
+            // tick, exactly as the per-access loop would.
+            ways[w].lastUse = tick_;
+            lastLineAddr_ = line_addr;
+            lastIdx_ = set * assoc_ + w;
+            return;
+        }
+    }
+    panic("commitHits: line not resident");
 }
 
 MemoryHierarchy::MemoryHierarchy()
@@ -80,6 +163,75 @@ MemoryHierarchy::data(uint32_t addr, bool is_write)
     if (l1d_.access(addr, is_write))
         return 0;
     return missPath(addr, is_write);
+}
+
+bool
+MemoryHierarchy::fetchRangeResident(uint32_t first_addr,
+                                    uint32_t last_addr) const
+{
+    const uint32_t line = l1i_.lineBytes();
+    for (uint32_t la = first_addr - first_addr % line;
+         la <= last_addr; la += line)
+        if (!l1i_.peek(la))
+            return false;
+    return true;
+}
+
+void
+MemoryHierarchy::fetchRangeCommit(uint32_t first_addr,
+                                  uint32_t last_addr)
+{
+    fetchRangeCommit(first_addr, last_addr, 1);
+}
+
+void
+MemoryHierarchy::fetchRangeCommit(uint32_t first_addr,
+                                  uint32_t last_addr, uint64_t repeat)
+{
+    const uint32_t line = l1i_.lineBytes();
+    for (uint32_t la = first_addr - first_addr % line;
+         la <= last_addr; la += line) {
+        uint32_t lo = la < first_addr ? first_addr : la;
+        uint32_t hi_line = la + line - 1;
+        uint32_t hi = hi_line > last_addr ? last_addr : hi_line;
+        l1i_.commitHits(la, ((hi - lo) / 4 + 1) * repeat);
+    }
+}
+
+void
+MemoryHierarchy::fetchRangePin(uint32_t first_addr,
+                               uint32_t last_addr,
+                               FetchPin &pin) const
+{
+    const uint32_t line = l1i_.lineBytes();
+    pin.gen = l1i_.fillGen();
+    pin.cnt = 0;
+    uint32_t n = 0;
+    for (uint32_t la = first_addr - first_addr % line;
+         la <= last_addr; la += line) {
+        if (n == FetchPin::kMaxLines)
+            return; // cnt stays 0: footprint too wide to pin.
+        int32_t slot = l1i_.residentSlotOf(la);
+        bsAssert(slot >= 0, "fetchRangePin: line not resident");
+        uint32_t lo = la < first_addr ? first_addr : la;
+        uint32_t hi_line = la + line - 1;
+        uint32_t hi = hi_line > last_addr ? last_addr : hi_line;
+        pin.slot[n] = static_cast<uint32_t>(slot);
+        pin.insts[n] = static_cast<uint16_t>((hi - lo) / 4 + 1);
+        ++n;
+    }
+    pin.cnt = n;
+}
+
+void
+MemoryHierarchy::fetchCommitPinned(const FetchPin &pin,
+                                   uint64_t repeat)
+{
+    // Per-slot bulk hits in line order: same final tick, stats and
+    // relative LRU order as the per-traversal commits (nothing else
+    // touches L1I in between — the fetchRangeCommit argument).
+    for (uint32_t j = 0; j < pin.cnt; ++j)
+        l1i_.commitHitsAt(pin.slot[j], pin.insts[j] * repeat);
 }
 
 } // namespace bitspec

@@ -39,6 +39,33 @@ class Cache
      */
     bool access(uint32_t addr, bool is_write);
 
+    /** True when the line holding @p addr is resident. Pure probe: no
+     *  stats, no LRU update (the fast engine's replay guard). */
+    bool peek(uint32_t addr) const;
+
+    /**
+     * Record @p count back-to-back read hits on the resident line
+     * holding @p addr: bumps accesses and the LRU clock exactly as
+     * @p count access() hits would, without the per-access way
+     * search. Panics when the line is not resident — callers must
+     * peek() first.
+     */
+    void commitHits(uint32_t addr, uint64_t count);
+
+    /** Monotonic count of line fills. An unchanged generation proves
+     *  no line moved or was evicted, so any previously recorded
+     *  (address, slot) pair is still resident at the same slot. */
+    uint64_t fillGen() const { return fillGen_; }
+
+    /** Slot of the resident line holding @p addr, or -1. Pure probe;
+     *  the slot stays valid while fillGen() is unchanged. */
+    int32_t residentSlotOf(uint32_t addr) const;
+
+    /** commitHits without the way search: record @p count hits
+     *  directly on slot @p slot. Callers prove residency via an
+     *  unchanged fillGen() since residentSlotOf returned the slot. */
+    void commitHitsAt(uint32_t slot, uint64_t count);
+
     const CacheStats &stats() const { return stats_; }
     void resetStats() { stats_ = CacheStats{}; }
     uint32_t lineBytes() const { return lineBytes_; }
@@ -57,7 +84,14 @@ class Cache
     uint32_t lineBytes_;
     std::vector<Line> lines_; ///< sets_ * assoc_, row-major by set.
     uint64_t tick_ = 0;
+    uint64_t fillGen_ = 0;
     CacheStats stats_;
+    /** Most-recently-touched line memo: back-to-back accesses to the
+     *  same line (sequential fetch, streaming data) skip the way
+     *  search. lines_[lastIdx_] holds lastLineAddr_ whenever the memo
+     *  is set; every fill re-points it, so it can never go stale. */
+    uint32_t lastLineAddr_ = 0xffffffffu;
+    uint32_t lastIdx_ = 0;
 };
 
 /** DRAM access counters (latency/energy applied by the core model). */
@@ -79,6 +113,56 @@ class MemoryHierarchy
     /** Data access; returns the added stall cycles beyond the L1 hit
      *  pipeline latency. */
     uint32_t data(uint32_t addr, bool is_write);
+
+    /** True when every I-line covering [@p first_addr, @p last_addr]
+     *  is L1I-resident (no state change; fast-engine replay guard). */
+    bool fetchRangeResident(uint32_t first_addr,
+                            uint32_t last_addr) const;
+
+    /**
+     * Commit the fetch sequence of the kInstBytes-strided PCs in
+     * [@p first_addr, @p last_addr]: per covered line, one bulk L1I
+     * hit record for its instructions, in line order — statistically
+     * identical to the per-instruction fetch() calls it replaces.
+     * Every covered line must be resident (fetchRangeResident).
+     */
+    void fetchRangeCommit(uint32_t first_addr, uint32_t last_addr);
+
+    /** fetchRangeCommit, @p repeat times at once: the fast engine's
+     *  internally iterated loop replays touch no other I-line between
+     *  iterations, so one scaled bulk hit record per line is
+     *  indistinguishable from the per-iteration commits. */
+    void fetchRangeCommit(uint32_t first_addr, uint32_t last_addr,
+                          uint64_t repeat);
+
+    /**
+     * Pinned I-fetch footprint of one straight-line run: per covered
+     * L1I line, its slot and per-traversal fetch count. Valid while
+     * the L1I fill generation is unchanged — with it, the replay
+     * residency guard is one compare and the fetch commit a direct
+     * per-slot stat bump, no way searches.
+     */
+    struct FetchPin
+    {
+        static constexpr uint32_t kMaxLines = 4;
+        uint64_t gen = ~0ull; ///< l1iFillGen() when recorded.
+        uint32_t cnt = 0;     ///< Pinned lines; 0 = not pinned.
+        uint32_t slot[kMaxLines];
+        uint16_t insts[kMaxLines];
+    };
+
+    uint64_t l1iFillGen() const { return l1i_.fillGen(); }
+
+    /** Record the footprint of [@p first_addr, @p last_addr] into
+     *  @p pin. Every line must be resident (fetchRangeResident). Runs
+     *  covering more than kMaxLines lines leave cnt == 0: unpinnable,
+     *  callers keep using fetchRangeCommit. */
+    void fetchRangePin(uint32_t first_addr, uint32_t last_addr,
+                       FetchPin &pin) const;
+
+    /** Commit @p repeat traversals of a pinned footprint; the pin
+     *  must be valid (pin.gen == l1iFillGen()). */
+    void fetchCommitPinned(const FetchPin &pin, uint64_t repeat);
 
     const CacheStats &l1i() const { return l1i_.stats(); }
     const CacheStats &l1d() const { return l1d_.stats(); }

@@ -161,6 +161,11 @@ Core::run(const std::vector<uint32_t> &args)
     const MachInst *flat = prog_.flat.data();
     const uint32_t flat_size =
         static_cast<uint32_t>(prog_.flat.size());
+    // Observer pointers hoisted out of the loop: three loop-invariant
+    // member loads per retire become register-resident locals.
+    AttributionSink *const attr = attr_;
+    BlockProfilerSink *const prof = prof_;
+    CounterTrackEmitter *const tracks = tracks_;
     uint64_t tag_counts[kNumInstTags] = {};
     auto finish = [&](uint64_t final_cycle) {
         counters_.cycles = final_cycle;
@@ -207,10 +212,10 @@ Core::run(const std::vector<uint32_t> &args)
 
         auto misspeculate = [&]() {
             ++counters_.misspeculations;
-            if (attr_)
-                attr_->onMisspec(idx);
-            if (prof_)
-                prof_->onMisspec(idx);
+            if (attr)
+                attr->onMisspec(idx);
+            if (prof)
+                prof->onMisspec(idx);
             next = idx + delta_ / kInstBytes;
             cycle += kMisspecPenalty;
         };
@@ -478,13 +483,13 @@ Core::run(const std::vector<uint32_t> &args)
             uint32_t lr = regs_[kRegLR];
             cycle += kBranchPenalty;
             if (lr == MachProgram::kHaltAddr) {
-                if (attr_)
-                    attr_->onInst(idx, cycle - cycle_at_fetch);
-                if (prof_)
-                    prof_->onInst(idx, cycle - cycle_at_fetch);
+                if (attr)
+                    attr->onInst(idx, cycle - cycle_at_fetch);
+                if (prof)
+                    prof->onInst(idx, cycle - cycle_at_fetch);
                 finish(cycle);
-                if (tracks_)
-                    tracks_->finish(counters_, mem_, cycle);
+                if (tracks)
+                    tracks->finish(counters_, mem_, cycle);
                 return regs_[0];
             }
             next = prog_.indexOf(lr);
@@ -509,25 +514,25 @@ Core::run(const std::vector<uint32_t> &args)
           case MOp::NOP:
             break;
           case MOp::HALT:
-            if (attr_)
-                attr_->onInst(idx, cycle - cycle_at_fetch);
-            if (prof_)
-                prof_->onInst(idx, cycle - cycle_at_fetch);
+            if (attr)
+                attr->onInst(idx, cycle - cycle_at_fetch);
+            if (prof)
+                prof->onInst(idx, cycle - cycle_at_fetch);
             finish(cycle);
-            if (tracks_)
-                tracks_->finish(counters_, mem_, cycle);
+            if (tracks)
+                tracks->finish(counters_, mem_, cycle);
             return regs_[0];
         }
 
         if (wrote && (inst.dst.isReg() || inst.dst.isSlice()))
             readyAt_[inst.dst.reg] = dst_ready;
 
-        if (attr_)
-            attr_->onInst(idx, cycle - cycle_at_fetch);
-        if (prof_)
-            prof_->onInst(idx, cycle - cycle_at_fetch);
-        if (tracks_)
-            tracks_->onRetire(counters_, mem_, cycle);
+        if (attr)
+            attr->onInst(idx, cycle - cycle_at_fetch);
+        if (prof)
+            prof->onInst(idx, cycle - cycle_at_fetch);
+        if (tracks)
+            tracks->onRetire(counters_, mem_, cycle);
         idx = next;
     }
 }

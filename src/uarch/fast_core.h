@@ -1,0 +1,270 @@
+/**
+ * @file
+ * The fast core engine: executes a PredecodedProgram with the exact
+ * observable behaviour of the legacy Core (ActivityCounters, cache
+ * stats, output checksum, attribution and per-block profiler feeds —
+ * bit-identical, ctest-enforced), an order of magnitude faster on the
+ * no-miss hot path.
+ *
+ * Two execution paths:
+ *
+ *  - Slow path: one pre-decoded instruction at a time, cycle-accurate,
+ *    a direct port of the legacy Core loop over PInst handlers.
+ *
+ *  - Block replay: straight-line runs (block bodies up to their
+ *    terminator) get a RunMemo — a statically computed schedule of the
+ *    run under the no-miss/no-misspec assumptions: total cycles,
+ *    summed counter deltas, per-instruction cycle costs and
+ *    scoreboard effects. When the entry guards hold (operands the
+ *    schedule assumed ready are ready, fuel suffices, every I-line is
+ *    resident), the run replays in one sweep: handlers execute only
+ *    the functional work, and timing/accounting commit from the memo.
+ *    D-cache accesses are still performed for real, so hierarchy
+ *    state stays exact; the first dynamic divergence (D-miss, store
+ *    stall, misspeculation) commits the prefix from the memo,
+ *    finishes the diverging instruction cycle-accurately, and drops
+ *    back to the slow path.
+ *
+ * Memos depend only on code geometry, so they live per FastCore and
+ * survive across runs; invalidateMemos() drops them (the analogue of
+ * Interpreter::invalidate() for re-squeezed programs).
+ */
+
+#ifndef BITSPEC_UARCH_FAST_CORE_H_
+#define BITSPEC_UARCH_FAST_CORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/module.h"
+#include "uarch/cache.h"
+#include "uarch/core.h"
+#include "uarch/counters.h"
+#include "uarch/predecode.h"
+
+namespace bitspec
+{
+
+class AttributionSink;
+class BlockProfilerSink;
+class CounterTrackEmitter;
+
+/** Executes pre-decoded EMB32 programs; same observable contract as
+ *  Core (the differential oracle — see tests/uarch/
+ *  core_engine_diff_test.cc). */
+class FastCore
+{
+  public:
+    /** Longest straight-line run one memo covers; longer runs fall
+     *  back to the slow path (never seen in practice). */
+    static constexpr uint32_t kMaxRunLen = 4096;
+
+    /** Dump slot past the architectural registers: replay scoreboard
+     *  stores index it for instructions with no scoreboard write, so
+     *  the store is unconditional. Never read. */
+    static constexpr uint32_t kScratchReg = 16;
+
+    /** @p pre (and the MachProgram it wraps) and @p m must outlive
+     *  the core. */
+    FastCore(const PredecodedProgram &pre, const Module &m);
+
+    /** Reload globals, clear state and counters. */
+    void reset();
+
+    /** Run from _start with up to four @p args in r0..r3; returns r0
+     *  at HALT. */
+    uint32_t run(const std::vector<uint32_t> &args = {});
+
+    const ActivityCounters &counters() const { return counters_; }
+    const MemoryHierarchy &memory() const { return mem_; }
+    const std::vector<uint64_t> &output() const { return output_; }
+
+    /** FNV-1a over the output stream; matches Core's. */
+    uint64_t outputChecksum() const { return outputHash_; }
+
+    void setFuel(uint64_t fuel) { fuel_ = fuel; }
+
+    /** Same observer contract as Core::setAttribution /
+     *  setBlockProfiler / setCounterTracks: replayed blocks feed the
+     *  sinks their exact per-instruction counts from the memo. */
+    void setAttribution(AttributionSink *sink) { attr_ = sink; }
+    void setBlockProfiler(BlockProfilerSink *sink) { prof_ = sink; }
+    void setCounterTracks(CounterTrackEmitter *tracks)
+    {
+        tracks_ = tracks;
+    }
+
+    /** Drop every block memo (they are rebuilt lazily). Correctness
+     *  never requires this — memos depend only on the immutable
+     *  pre-decoded code — but a System that re-squeezes and relinks
+     *  must not carry memos across program versions. */
+    void invalidateMemos();
+
+    /** Memos built so far (observability/tests). */
+    size_t memoCount() const { return memos_.size(); }
+    /** Replayed runs / slow-path instructions (observability/tests). */
+    uint64_t replayedRuns() const { return replayedRuns_; }
+    uint64_t slowInsts() const { return slowInsts_; }
+
+  private:
+    struct Flags
+    {
+        bool n = false, z = false, c = false, v = false;
+    };
+
+    /** Statically scheduled straight-line run starting at one flat
+     *  index: the block-site body up to (excluding) its terminator. */
+    struct RunMemo
+    {
+        bool eligible = false;
+        uint32_t start = 0;
+        uint32_t len = 0;          ///< Body instructions.
+        uint64_t bodyCycles = 0;   ///< Cycle offset at terminator fetch.
+        uint32_t maxReadyOff = 0;  ///< Max scoreboard offset written.
+        uint16_t entryReadyMask = 0; ///< Regs assumed ready at entry.
+        uint64_t fuelCost = 0;     ///< Retirements incl. terminator.
+        uint32_t fetchFirst = 0;   ///< PC of start.
+        uint32_t fetchLast = 0;    ///< PC of the terminator.
+        /** Body counter sums plus the terminator's static contrib
+         *  (cycles unused; a conditional terminator's takenBranches
+         *  is counted live). */
+        ActivityCounters delta;
+        /** Clean replays not yet folded into counters_: delta is
+         *  committed as delta * pendingReplays at finish() instead of
+         *  per replay (the hot path's biggest accounting cost). */
+        uint64_t pendingReplays = 0;
+        /** Branch terminators complete inline in replay() (no
+         *  execTerminator dispatch); a branch back to start — the hot
+         *  inner-loop shape — additionally iterates inside replay(),
+         *  skipping the per-iteration run-loop, residency guard and
+         *  fetch commit (L1I is untouched between iterations, so the
+         *  bulk commit at exit is exact). */
+        bool termIsBranch = false;
+        bool selfBackedge = false;
+        Cond backCond = Cond::AL;
+        uint32_t termTarget = 0;
+        /** Pinned L1I footprint (slots + per-line fetch counts).
+         *  While the L1I fill generation matches, the residency guard
+         *  is one compare and the fetch commit a direct stat bump. */
+        MemoryHierarchy::FetchPin pin;
+        /** Compact replay micro-op, one per body instruction:
+         *  full-width register/flag operations are pre-resolved to
+         *  direct register-file ops; anything that can diverge, touch
+         *  memory or write a sub-register slice stays Generic and
+         *  executes the original PInst handler. */
+        struct ROp
+        {
+            enum K : uint8_t
+            {
+                kGeneric = 0,
+                kAddRR, kAddRI, kSubRR, kSubRI, kSubIR,
+                kAndRR, kAndRI, kOrrRR, kOrrRI, kEorRR, kEorRI,
+                kLslRR, kLslRI, kLsrRR, kLsrRI, kAsrRR, kAsrRI,
+                kMulRR, kMulRI, kMovR, kMovI, kMvnR, kMovtI,
+                kCmpRR, kCmpRI, kCmpIR,
+                kSetcc, kSxth, kUxth, kUxt8, kSxt8,
+                kLoadWRR, kLoadWRI,
+            };
+            uint8_t op = kGeneric;
+            uint8_t dst = 0, a = 0, b = 0;
+            uint32_t imm = 0;       ///< Immediate (or Cond for Setcc).
+            uint16_t readyOff = 0;  ///< PerInst::readyOff, compact.
+            uint8_t writeReg = kScratchReg; ///< PerInst::writeReg.
+        };
+
+        struct PerInst
+        {
+            uint32_t cycBefore = 0; ///< Cycle offset at fetch.
+            uint32_t issueOff = 0;  ///< Cycle offset after issue stall.
+            uint32_t readyOff = 0;  ///< Scoreboard offset on write.
+            uint8_t cost = 0;       ///< Cycles charged to the sinks.
+            /** Scoreboard slot written on retire: a register index,
+             *  or the scratch slot (16) for no-write/conditional
+             *  instructions — the replay store is branchless. */
+            uint8_t writeReg = kScratchReg;
+        };
+        std::vector<PerInst> per;
+        std::vector<ROp> ops; ///< One per body instruction.
+    };
+
+    bool condHolds(Cond c) const;
+    uint32_t loadData(uint32_t addr, unsigned bytes);
+    void storeData(uint32_t addr, uint32_t value, unsigned bytes);
+    void setFlagsSub(uint64_t a, uint64_t b, unsigned bits);
+    void emitOut(uint64_t v);
+
+    RunMemo &memoAt(uint32_t idx);
+    RunMemo buildMemo(uint32_t start) const;
+    /** Pre-resolve one body instruction into its replay micro-op. */
+    static RunMemo::ROp translateOp(const PInst &p,
+                                    const RunMemo::PerInst &pi);
+    bool entryReady(const RunMemo &m) const;
+
+    /** Replay the memoized run at cycle_; returns the next flat
+     *  index (or sets halted_). */
+    uint32_t replay(RunMemo &m);
+    /** Bulk-commit @p iters completed in-replay loop iterations
+     *  (fetches, pendingReplays, replayedRuns_). */
+    void flushIters(RunMemo &m, uint64_t iters);
+    /** Replay residency guard: valid pin (one compare) or probe and
+     *  re-pin. False when some I-line is not resident. */
+    bool fetchGuard(RunMemo &m);
+    /** Commit @p repeat fetch traversals of the memo's range, via the
+     *  pin when valid. */
+    void commitFetches(RunMemo &m, uint64_t repeat);
+    /** Commit the first @p k body instructions of a diverged replay
+     *  from the memo (fetches, counters, sinks, fuel). */
+    void commitPrefix(const RunMemo &m, uint32_t k);
+    /** Execute the terminator after a fully replayed body. */
+    uint32_t execTerminator(const RunMemo &m);
+    /** One cycle-accurate slow-path instruction; returns next idx. */
+    uint32_t slowStep(uint32_t idx);
+
+    void applyContrib(const CounterContrib &c);
+    void applyDstWrite(uint8_t dst_write);
+    void finish(uint64_t final_cycle);
+
+    const PredecodedProgram &pre_;
+    const MachProgram &prog_;
+    const Module &module_;
+    std::vector<uint8_t> dataMem_;
+    uint32_t regs_[16] = {};
+    Flags flags_;
+    uint32_t delta_ = 0;
+    bool classicMode_ = false;
+
+    MemoryHierarchy mem_;
+    ActivityCounters counters_;
+    std::vector<uint64_t> output_;
+    uint64_t outputHash_ = Core::kFnvOffset;
+    uint64_t fuel_ = Core::kDefaultFuel;
+    AttributionSink *attr_ = nullptr;
+    BlockProfilerSink *prof_ = nullptr;
+    CounterTrackEmitter *tracks_ = nullptr;
+
+    /** Scoreboard: cycle when each register's value is ready; slot
+     *  kScratchReg is the write-only dump for branchless replay
+     *  stores. */
+    uint64_t readyAt_[17] = {};
+    /** Upper bound on max(readyAt_): when <= cycle_, the whole
+     *  scoreboard is quiescent and replay entry needs no per-register
+     *  check. */
+    uint64_t maxReady_ = 0;
+
+    /** Per-run state (members so the replay/slow helpers share it). */
+    uint64_t cycle_ = 0;
+    uint64_t executed_ = 0;
+    bool halted_ = false;
+    uint32_t retVal_ = 0;
+
+    /** Lazy memo table: memoIdx_[i] indexes memos_, -1 unbuilt. */
+    std::vector<int32_t> memoIdx_;
+    std::vector<RunMemo> memos_;
+
+    uint64_t replayedRuns_ = 0;
+    uint64_t slowInsts_ = 0;
+};
+
+} // namespace bitspec
+
+#endif // BITSPEC_UARCH_FAST_CORE_H_

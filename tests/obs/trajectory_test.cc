@@ -113,6 +113,103 @@ TEST(Trajectory, GatePassesOnEmptyHistory)
         EXPECT_TRUE(v.pass) << v.name;
 }
 
+TEST(Trajectory, EmptyWindowSaysRecordingOnly)
+{
+    // With no comparable baseline the rendered table must say so
+    // explicitly instead of printing "baseline runs considered: 0".
+    GateResult r = checkAgainstHistory(makeRecord(1e8), {});
+    std::string table = formatGateResult(r);
+    EXPECT_NE(table.find("no baseline, recording only"),
+              std::string::npos);
+    EXPECT_NE(table.find("gate PASS"), std::string::npos);
+    EXPECT_EQ(table.find("baseline runs considered"),
+              std::string::npos);
+    // Gated series with no baseline are flagged per-row too.
+    EXPECT_NE(table.find("no-baseline"), std::string::npos);
+
+    // A debug run over a release-only history is the same situation.
+    std::vector<TrajectoryRecord> release_only;
+    release_only.push_back(makeRecord(2e8, /*debug=*/false));
+    GateResult r2 = checkAgainstHistory(
+        makeRecord(1e6, /*debug=*/true), release_only);
+    EXPECT_NE(formatGateResult(r2).find("no baseline, recording only"),
+              std::string::npos);
+
+    // Once a baseline exists the explicit count comes back.
+    std::vector<TrajectoryRecord> history;
+    history.push_back(makeRecord(1e8));
+    GateResult r3 = checkAgainstHistory(makeRecord(1e8), history);
+    std::string table3 = formatGateResult(r3);
+    EXPECT_NE(table3.find("baseline runs considered: 1"),
+              std::string::npos);
+    EXPECT_EQ(table3.find("recording only"), std::string::npos);
+}
+
+TEST(Trajectory, FirstRecordPathStartsTheHistory)
+{
+    // The very first bench_smoke on a branch: no history file at all.
+    TempHistory h;
+    EXPECT_TRUE(loadHistory(h.path).empty());
+
+    // The gate passes (recording only) and the append creates the
+    // file with exactly that one record.
+    TrajectoryRecord first = makeRecord(1e8);
+    GateResult r = checkAgainstHistory(first, loadHistory(h.path));
+    EXPECT_TRUE(r.pass);
+    EXPECT_EQ(r.baselineRuns, 0u);
+    ASSERT_TRUE(appendHistory(h.path, first));
+
+    auto history = loadHistory(h.path);
+    ASSERT_EQ(history.size(), 1u);
+    EXPECT_DOUBLE_EQ(
+        history[0].value("rate.interp_decoded_ir_per_s").value(), 1e8);
+
+    // The second run gates against that first record.
+    GateResult r2 = checkAgainstHistory(makeRecord(1.05e8), history);
+    EXPECT_TRUE(r2.pass);
+    EXPECT_EQ(r2.baselineRuns, 1u);
+}
+
+TEST(Trajectory, RecordFromBenchJsonCoreEngineAB)
+{
+    // The legacy/fast Core A/B pair produces both rates plus the
+    // derived speedup series (gated: the fast engine must not decay
+    // back toward the legacy rate).
+    const std::string json = R"({
+  "context": { "library_build_type": "release" },
+  "benchmarks": [
+    { "name": "BM_CoreThroughput/legacy",
+      "machine_instrs_per_s": 3.5e6 },
+    { "name": "BM_CoreThroughput/fast",
+      "machine_instrs_per_s": 7.0e7 }
+  ]
+})";
+    TrajectoryRecord rec = recordFromBenchJson(json);
+    EXPECT_DOUBLE_EQ(rec.value("rate.core_machine_per_s").value(),
+                     3.5e6);
+    EXPECT_DOUBLE_EQ(rec.value("rate.core_fast_machine_per_s").value(),
+                     7.0e7);
+    ASSERT_TRUE(rec.value("speedup.core_fast_vs_legacy").has_value());
+    EXPECT_DOUBLE_EQ(rec.value("speedup.core_fast_vs_legacy").value(),
+                     20.0);
+    EXPECT_TRUE(isGatedSeries("speedup.core_fast_vs_legacy"));
+
+    // Pre-A/B files spell the legacy series as bare BM_CoreThroughput
+    // and carry no fast series or speedup.
+    TrajectoryRecord old = recordFromBenchJson(R"({
+  "context": { "library_build_type": "release" },
+  "benchmarks": [
+    { "name": "BM_CoreThroughput", "machine_instrs_per_s": 6.7e7 }
+  ]
+})");
+    EXPECT_DOUBLE_EQ(old.value("rate.core_machine_per_s").value(),
+                     6.7e7);
+    EXPECT_FALSE(
+        old.value("rate.core_fast_machine_per_s").has_value());
+    EXPECT_FALSE(
+        old.value("speedup.core_fast_vs_legacy").has_value());
+}
+
 TEST(Trajectory, GateFailsOnInjectedRegression)
 {
     // Synthetic history whose decoded rate is far above the current

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "support/error.h"
 #include "uarch/cache.h"
 
 namespace bitspec
@@ -82,6 +83,93 @@ TEST(Hierarchy, SeparateInstructionAndDataPaths)
     // Data access to the same address misses L1D (separate cache)
     // but hits in the shared L2.
     EXPECT_EQ(m.data(0x5000, false), MemoryHierarchy::kL2HitCycles);
+}
+
+TEST(Cache, PeekIsAPureProbe)
+{
+    Cache c(8 * 1024, 4, 32);
+    EXPECT_FALSE(c.peek(0x1000));
+    EXPECT_EQ(c.stats().accesses, 0u); // No stats from probing.
+    c.access(0x1000, false);
+    EXPECT_TRUE(c.peek(0x1000));
+    EXPECT_TRUE(c.peek(0x101f)); // Same line.
+    EXPECT_FALSE(c.peek(0x1020));
+    EXPECT_EQ(c.stats().accesses, 1u);
+    EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, CommitHitsMatchesAccessLoop)
+{
+    // commitHits(addr, n) must be statistically and LRU-wise
+    // indistinguishable from n access() hits on the same line.
+    Cache bulk(8 * 1024, 4, 32);
+    Cache loop(8 * 1024, 4, 32);
+    bulk.access(0x1000, false);
+    loop.access(0x1000, false);
+
+    bulk.commitHits(0x1000, 7);
+    for (int i = 0; i < 7; ++i)
+        EXPECT_TRUE(loop.access(0x1000, false));
+
+    EXPECT_EQ(bulk.stats().accesses, loop.stats().accesses);
+    EXPECT_EQ(bulk.stats().misses, loop.stats().misses);
+    EXPECT_EQ(bulk.stats().writebacks, loop.stats().writebacks);
+
+    // The commit must also freshen the line's LRU stamp: make an
+    // older conflicting line the victim. 0x1800 enters after 0x1000,
+    // but the bulk hits leave 0x1000 more recently used, so filling
+    // the set evicts 0x1800 — unless commitHits forgot the clock.
+    bulk.access(0x1800, false);
+    loop.access(0x1800, false);
+    bulk.commitHits(0x1000, 3);
+    for (int i = 0; i < 3; ++i)
+        loop.access(0x1000, false);
+    for (uint32_t line : {0x2000u, 0x2800u, 0x3000u}) {
+        bulk.access(line, false);
+        loop.access(line, false);
+    }
+    EXPECT_TRUE(bulk.peek(0x1000));
+    EXPECT_FALSE(bulk.peek(0x1800));
+    EXPECT_EQ(bulk.peek(0x1000), loop.peek(0x1000));
+    EXPECT_EQ(bulk.peek(0x1800), loop.peek(0x1800));
+}
+
+TEST(Cache, CommitHitsPanicsWhenNotResident)
+{
+    Cache c(8 * 1024, 4, 32);
+    EXPECT_THROW(c.commitHits(0x1000, 1), PanicError);
+}
+
+TEST(Hierarchy, FetchRangeCommitMatchesFetchLoop)
+{
+    // A 9-instruction straight-line run crossing a 32 B line boundary:
+    // the bulk commit must leave identical stats to per-PC fetches.
+    const uint32_t first = 0x400010, last = first + 8 * 4;
+    MemoryHierarchy bulk, loop;
+    EXPECT_FALSE(bulk.fetchRangeResident(first, last));
+    for (uint32_t pc = first; pc <= last; pc += 4) {
+        bulk.fetch(pc);
+        loop.fetch(pc);
+    }
+    ASSERT_TRUE(bulk.fetchRangeResident(first, last));
+
+    bulk.fetchRangeCommit(first, last);
+    for (uint32_t pc = first; pc <= last; pc += 4)
+        loop.fetch(pc);
+
+    EXPECT_EQ(bulk.l1i().accesses, loop.l1i().accesses);
+    EXPECT_EQ(bulk.l1i().misses, loop.l1i().misses);
+    EXPECT_EQ(bulk.l2().accesses, loop.l2().accesses);
+    EXPECT_EQ(bulk.dram().reads, loop.dram().reads);
+}
+
+TEST(Hierarchy, FetchRangeResidentNeedsEveryLine)
+{
+    MemoryHierarchy m;
+    m.fetch(0x400000); // First line only.
+    EXPECT_TRUE(m.fetchRangeResident(0x400000, 0x40001c));
+    // Range extends into the next, unfetched line.
+    EXPECT_FALSE(m.fetchRangeResident(0x400000, 0x400020));
 }
 
 } // namespace

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Differential test between the two uarch core engines (the Core
+ * analogue of interp/engine_diff_test.cc).
+ *
+ * For every registered workload under three system configurations
+ * (baseline compiler, full bitwidth speculation, squeeze without
+ * speculation — the three misspeculation regimes the core model
+ * sees), the fast pre-decoded engine must be observationally
+ * identical to the legacy cycle-accurate Core: same return value and
+ * output checksum, same ActivityCounters field by field, same cache
+ * hierarchy statistics down to per-level access/miss/writeback counts
+ * and DRAM traffic, and the same attribution and per-block profiler
+ * activity vectors. The fast engine runs twice — once with cold block
+ * memos and once warm — so memo replay itself is covered, not just
+ * the slow path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "obs/attribution.h"
+#include "obs/profiler.h"
+#include "workloads/workload.h"
+
+namespace bitspec
+{
+namespace
+{
+
+struct CoreRun
+{
+    uint32_t ret = 0;
+    uint64_t checksum = 0;
+    ActivityCounters c;
+    CacheStats l1i, l1d, l2;
+    DramStats dram;
+    std::vector<RegionActivity> attr;
+    uint64_t unattributedMisspecs = 0;
+    std::vector<BlockActivity> blocks;
+    uint64_t blocksUnattributed = 0;
+};
+
+CoreRun
+runOnce(System &sys, const AttributionMap &amap, const BlockMap &bmap)
+{
+    AttributionSink attr(amap);
+    BlockProfilerSink blocks(bmap);
+    RunObservers obs;
+    obs.attribution = &attr;
+    obs.blocks = &blocks;
+    RunResult r = sys.run({}, {}, obs);
+
+    CoreRun out;
+    out.ret = r.returnValue;
+    out.checksum = r.outputChecksum;
+    out.c = r.counters;
+    out.l1i = r.l1i;
+    out.l1d = r.l1d;
+    out.l2 = r.l2;
+    out.dram = r.dram;
+    out.attr = attr.activity();
+    out.unattributedMisspecs = attr.unattributedMisspecs();
+    out.blocks = blocks.activity();
+    out.blocksUnattributed = blocks.unattributed();
+    return out;
+}
+
+void
+expectSameCaches(const CacheStats &a, const CacheStats &b,
+                 const std::string &what)
+{
+    EXPECT_EQ(a.accesses, b.accesses) << what;
+    EXPECT_EQ(a.misses, b.misses) << what;
+    EXPECT_EQ(a.writebacks, b.writebacks) << what;
+}
+
+void
+expectSameRun(const CoreRun &legacy, const CoreRun &fast,
+              const std::string &what)
+{
+    EXPECT_EQ(legacy.ret, fast.ret) << what;
+    EXPECT_EQ(legacy.checksum, fast.checksum) << what;
+
+    const ActivityCounters &a = legacy.c;
+    const ActivityCounters &b = fast.c;
+    EXPECT_EQ(a.instructions, b.instructions) << what;
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.alu32, b.alu32) << what;
+    EXPECT_EQ(a.alu8, b.alu8) << what;
+    EXPECT_EQ(a.mulDiv, b.mulDiv) << what;
+    EXPECT_EQ(a.rfRead32, b.rfRead32) << what;
+    EXPECT_EQ(a.rfWrite32, b.rfWrite32) << what;
+    EXPECT_EQ(a.rfRead8, b.rfRead8) << what;
+    EXPECT_EQ(a.rfWrite8, b.rfWrite8) << what;
+    EXPECT_EQ(a.loads, b.loads) << what;
+    EXPECT_EQ(a.stores, b.stores) << what;
+    EXPECT_EQ(a.branches, b.branches) << what;
+    EXPECT_EQ(a.takenBranches, b.takenBranches) << what;
+    EXPECT_EQ(a.calls, b.calls) << what;
+    EXPECT_EQ(a.misspeculations, b.misspeculations) << what;
+    EXPECT_EQ(a.dynSpillLoads, b.dynSpillLoads) << what;
+    EXPECT_EQ(a.dynSpillStores, b.dynSpillStores) << what;
+    EXPECT_EQ(a.dynCopies, b.dynCopies) << what;
+    EXPECT_EQ(a.outputs, b.outputs) << what;
+
+    expectSameCaches(legacy.l1i, fast.l1i, what + "/l1i");
+    expectSameCaches(legacy.l1d, fast.l1d, what + "/l1d");
+    expectSameCaches(legacy.l2, fast.l2, what + "/l2");
+    EXPECT_EQ(legacy.dram.reads, fast.dram.reads) << what;
+    EXPECT_EQ(legacy.dram.writes, fast.dram.writes) << what;
+
+    ASSERT_EQ(legacy.attr.size(), fast.attr.size()) << what;
+    for (size_t i = 0; i < legacy.attr.size(); ++i) {
+        const RegionActivity &ra = legacy.attr[i];
+        const RegionActivity &rb = fast.attr[i];
+        const std::string where =
+            what + "/region" + std::to_string(i);
+        EXPECT_EQ(ra.entries, rb.entries) << where;
+        EXPECT_EQ(ra.misspecs, rb.misspecs) << where;
+        EXPECT_EQ(ra.specInsts, rb.specInsts) << where;
+        EXPECT_EQ(ra.specCycles, rb.specCycles) << where;
+        EXPECT_EQ(ra.skeletonInsts, rb.skeletonInsts) << where;
+        EXPECT_EQ(ra.handlerInsts, rb.handlerInsts) << where;
+        EXPECT_EQ(ra.handlerCycles, rb.handlerCycles) << where;
+    }
+    EXPECT_EQ(legacy.unattributedMisspecs, fast.unattributedMisspecs)
+        << what;
+
+    ASSERT_EQ(legacy.blocks.size(), fast.blocks.size()) << what;
+    for (size_t i = 0; i < legacy.blocks.size(); ++i) {
+        const BlockActivity &ba = legacy.blocks[i];
+        const BlockActivity &bb = fast.blocks[i];
+        const std::string where =
+            what + "/block" + std::to_string(i);
+        EXPECT_EQ(ba.entries, bb.entries) << where;
+        EXPECT_EQ(ba.insts, bb.insts) << where;
+        EXPECT_EQ(ba.cycles, bb.cycles) << where;
+        EXPECT_EQ(ba.misspecs, bb.misspecs) << where;
+    }
+    EXPECT_EQ(legacy.blocksUnattributed, fast.blocksUnattributed)
+        << what;
+}
+
+class CoreEngineDiff : public ::testing::TestWithParam<std::string>
+{};
+
+void
+diffUnderConfig(const Workload &w, const SystemConfig &cfg,
+                const std::string &what)
+{
+    System sys(w.source, cfg,
+               [&](Module &m) { w.setInput(m, 0); });
+    AttributionMap amap(sys.program());
+    BlockMap bmap(sys.program());
+
+    sys.setCoreEngine(CoreEngine::Legacy);
+    CoreRun legacy = runOnce(sys, amap, bmap);
+
+    sys.setCoreEngine(CoreEngine::Fast);
+    CoreRun fast_cold = runOnce(sys, amap, bmap);
+    expectSameRun(legacy, fast_cold, what + "/cold");
+
+    // Second fast run reuses the block memos built by the first.
+    CoreRun fast_warm = runOnce(sys, amap, bmap);
+    expectSameRun(legacy, fast_warm, what + "/warm");
+
+    ASSERT_NE(sys.fastCore(), nullptr);
+    EXPECT_GT(sys.fastCore()->memoCount(), 0u) << what;
+    // Every workload loops, so the fast engine must actually have
+    // replayed blocks — this diff is meaningless if the guards always
+    // fell back to the slow path.
+    EXPECT_GT(sys.fastCore()->replayedRuns(), 0u) << what;
+}
+
+TEST_P(CoreEngineDiff, BaselineConfigMatches)
+{
+    const Workload &w = getWorkload(GetParam());
+    diffUnderConfig(w, SystemConfig::baseline(), w.name + "/baseline");
+}
+
+TEST_P(CoreEngineDiff, BitspecConfigMatches)
+{
+    const Workload &w = getWorkload(GetParam());
+    diffUnderConfig(w, SystemConfig::bitspec(), w.name + "/bitspec");
+}
+
+TEST_P(CoreEngineDiff, NoSpeculationConfigMatches)
+{
+    const Workload &w = getWorkload(GetParam());
+    diffUnderConfig(w, SystemConfig::noSpeculation(),
+                    w.name + "/nospec");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mibench, CoreEngineDiff,
+    ::testing::Values("CRC32", "FFT", "basicmath", "bitcount",
+                      "blowfish", "dijkstra", "patricia", "qsort",
+                      "rijndael", "sha", "stringsearch", "susan-edges",
+                      "susan-corners", "susan-smoothing"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace bitspec
