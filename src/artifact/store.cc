@@ -1,0 +1,371 @@
+#include "artifact/store.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <vector>
+
+#include "obs/trace.h"
+#include "support/env.h"
+#include "support/error.h"
+#include "support/str.h"
+
+namespace bitspec::artifact
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+/** A scoped, non-blocking exclusive flock; owns the descriptor. */
+class FileLock
+{
+  public:
+    explicit FileLock(const std::string &path)
+    {
+        fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC,
+                     0644);
+        if (fd_ >= 0 && ::flock(fd_, LOCK_EX | LOCK_NB) != 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+
+    ~FileLock()
+    {
+        if (fd_ >= 0)
+            ::close(fd_); // Dropping the fd releases the flock.
+    }
+
+    FileLock(const FileLock &) = delete;
+    FileLock &operator=(const FileLock &) = delete;
+
+    bool held() const { return fd_ >= 0; }
+
+  private:
+    int fd_ = -1;
+};
+
+/** A scoped read-only mapping of a whole file. */
+class MappedFile
+{
+  public:
+    explicit MappedFile(const std::string &path)
+    {
+        int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+        if (fd < 0)
+            return;
+        struct stat st{};
+        if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+            void *p = ::mmap(nullptr,
+                             static_cast<size_t>(st.st_size),
+                             PROT_READ, MAP_PRIVATE, fd, 0);
+            if (p != MAP_FAILED) {
+                data_ = static_cast<const uint8_t *>(p);
+                size_ = static_cast<size_t>(st.st_size);
+            }
+        } else if (::fstat(fd, &st) == 0) {
+            // Zero-byte file: exists but is unmappable; report it as
+            // present-and-empty so the caller counts it invalid.
+            empty_ = true;
+        }
+        ::close(fd); // The mapping outlives the descriptor.
+    }
+
+    ~MappedFile()
+    {
+        if (data_)
+            ::munmap(const_cast<uint8_t *>(data_), size_);
+    }
+
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    bool present() const { return data_ != nullptr || empty_; }
+    const uint8_t *data() const { return data_; }
+    size_t size() const { return size_; }
+
+  private:
+    const uint8_t *data_ = nullptr;
+    size_t size_ = 0;
+    bool empty_ = false;
+};
+
+void
+putU64(uint8_t *at, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        at[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint64_t
+getU64(const uint8_t *at)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(at[i]) << (8 * i);
+    return v;
+}
+
+/** Best-effort mtime touch: publishes recency for the LRU sweep. */
+void
+touch(const std::string &path)
+{
+    ::utimensat(AT_FDCWD, path.c_str(), nullptr, 0);
+}
+
+std::string
+sanitized(std::string s)
+{
+    for (char &c : s)
+        if (!std::isalnum(static_cast<unsigned char>(c)) &&
+            c != '.' && c != '-' && c != '_')
+            c = '_';
+    return s.empty() ? std::string("unknown") : s;
+}
+
+} // namespace
+
+const std::string &
+buildFlavour()
+{
+#ifdef BITSPEC_BUILD_TAG
+    constexpr const char *kTag = BITSPEC_BUILD_TAG;
+#else
+    constexpr const char *kTag = "nogit-unknown";
+#endif
+    static const std::string flavour =
+        sanitized(strFormat("%s-%016llx", kTag,
+                            static_cast<unsigned long long>(
+                                snapshotSchemaHash())));
+    return flavour;
+}
+
+ArtifactStore::ArtifactStore(std::string dir, uint64_t max_bytes)
+    : dir_(std::move(dir)), maxBytes_(max_bytes)
+{
+    bsAssert(!dir_.empty(), "artifact store needs a directory");
+    flavourDir_ = (fs::path(dir_) / buildFlavour()).string();
+    std::error_code ec;
+    fs::create_directories(flavourDir_, ec);
+    if (ec)
+        fatal(strFormat("cannot create artifact dir %s: %s",
+                        flavourDir_.c_str(),
+                        ec.message().c_str()));
+}
+
+std::unique_ptr<ArtifactStore>
+ArtifactStore::fromEnv()
+{
+    const std::string dir = env::getString("BITSPEC_ARTIFACT_DIR");
+    if (dir.empty())
+        return nullptr;
+    const uint64_t max_mb = env::getUnsigned(
+        "BITSPEC_ARTIFACT_MAX_MB", 512, 1, 1u << 20);
+    return std::make_unique<ArtifactStore>(dir, max_mb << 20);
+}
+
+std::string
+ArtifactStore::pathFor(const Hash128 &key) const
+{
+    return (fs::path(flavourDir_) / (key.hex() + ".bsart")).string();
+}
+
+std::optional<SystemSnapshot>
+ArtifactStore::load(const Hash128 &key,
+                    const std::string &canonical_key)
+{
+    trace::Span span("artifact.load", "compile");
+    const std::string path = pathFor(key);
+    MappedFile file(path);
+    if (!file.present()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.misses;
+        return std::nullopt;
+    }
+
+    auto invalid = [&](const char *why) -> std::optional<SystemSnapshot> {
+        // Fail to recompile, never to a crash; drop the bad file so
+        // the recompile's publish can replace it.
+        span.arg("invalid", why);
+        std::error_code ec;
+        fs::remove(path, ec);
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.invalid;
+        return std::nullopt;
+    };
+
+    if (file.size() < kHeaderBytes)
+        return invalid("truncated header");
+    const uint8_t *h = file.data();
+    if (getU64(h + kMagicOffset) != kMagic)
+        return invalid("bad magic");
+    if (getU64(h + kSchemaOffset) != snapshotSchemaHash())
+        return invalid("schema mismatch");
+    const uint64_t payload = getU64(h + kPayloadSizeOffset);
+    if (payload != file.size() - kHeaderBytes)
+        return invalid("truncated payload");
+    const uint32_t want_crc =
+        static_cast<uint32_t>(getU64(h + kCrcOffset));
+    if (crc32(h + kHeaderBytes, payload) != want_crc)
+        return invalid("crc mismatch");
+
+    SystemSnapshot snap;
+    try {
+        snap = decodeSnapshot(h + kHeaderBytes, payload);
+    } catch (const SnapshotError &e) {
+        return invalid(e.what());
+    }
+    if (snap.key != canonical_key)
+        return invalid("key collision");
+
+    touch(path); // LRU recency.
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.hits;
+    }
+    return snap;
+}
+
+bool
+ArtifactStore::publish(const Hash128 &key, const SystemSnapshot &snap)
+{
+    trace::Span span("artifact.publish", "compile");
+    const std::string path = pathFor(key);
+
+    // Single writer per key: a losing racer skips — the winner is
+    // publishing identical content for the same key.
+    FileLock lock(path + ".lock");
+    if (!lock.held()) {
+        std::lock_guard<std::mutex> g(mu_);
+        ++stats_.writeSkips;
+        return false;
+    }
+
+    const std::vector<uint8_t> payload = encodeSnapshot(snap);
+    std::vector<uint8_t> header(kHeaderBytes, 0);
+    putU64(header.data() + kMagicOffset, kMagic);
+    putU64(header.data() + kSchemaOffset, snapshotSchemaHash());
+    putU64(header.data() + kPayloadSizeOffset, payload.size());
+    putU64(header.data() + kCrcOffset,
+           crc32(payload.data(), payload.size()));
+
+    // Atomic publish: readers only ever see the rename()d whole file.
+    const std::string tmp =
+        strFormat("%s.tmp.%ld", path.c_str(),
+                  static_cast<long>(::getpid()));
+    int fd = ::open(tmp.c_str(),
+                    O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+    if (fd < 0)
+        return false;
+    bool ok = true;
+    auto write_all = [&](const uint8_t *p, size_t n) {
+        while (n > 0) {
+            ssize_t w = ::write(fd, p, n);
+            if (w <= 0) {
+                ok = false;
+                return;
+            }
+            p += w;
+            n -= static_cast<size_t>(w);
+        }
+    };
+    write_all(header.data(), header.size());
+    if (ok)
+        write_all(payload.data(), payload.size());
+    if (ok)
+        ok = ::fsync(fd) == 0;
+    ::close(fd);
+    if (ok)
+        ok = ::rename(tmp.c_str(), path.c_str()) == 0;
+    if (!ok) {
+        ::unlink(tmp.c_str());
+        return false;
+    }
+
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        ++stats_.writes;
+    }
+    gc(path);
+    return true;
+}
+
+uint64_t
+ArtifactStore::diskBytes() const
+{
+    uint64_t total = 0;
+    std::error_code ec;
+    for (auto it = fs::recursive_directory_iterator(dir_, ec);
+         !ec && it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file(ec) &&
+            it->path().extension() == ".bsart")
+            total += it->file_size(ec);
+    }
+    return total;
+}
+
+void
+ArtifactStore::gc(const std::string &spare)
+{
+    struct Entry
+    {
+        fs::path path;
+        fs::file_time_type mtime;
+        uint64_t size = 0;
+    };
+    std::vector<Entry> entries;
+    uint64_t total = 0;
+    std::error_code ec;
+    for (auto it = fs::recursive_directory_iterator(dir_, ec);
+         !ec && it != fs::recursive_directory_iterator(); ++it) {
+        if (!it->is_regular_file(ec) ||
+            it->path().extension() != ".bsart")
+            continue;
+        Entry e;
+        e.path = it->path();
+        e.mtime = fs::last_write_time(e.path, ec);
+        e.size = it->file_size(ec);
+        total += e.size;
+        entries.push_back(std::move(e));
+    }
+    if (total <= maxBytes_)
+        return;
+
+    // Oldest-read first (loads touch mtime); the caller's
+    // just-published artifact is spared even when it alone busts the
+    // budget — evicting your own write would livelock a small store.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.mtime < b.mtime;
+              });
+    for (const Entry &e : entries) {
+        if (total <= maxBytes_)
+            break;
+        if (!spare.empty() && e.path == fs::path(spare))
+            continue;
+        std::error_code rm_ec;
+        if (fs::remove(e.path, rm_ec) && !rm_ec) {
+            total -= e.size;
+            fs::remove(fs::path(e.path.string() + ".lock"), rm_ec);
+            std::lock_guard<std::mutex> g(mu_);
+            ++stats_.evictions;
+        }
+    }
+}
+
+StoreStats
+ArtifactStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+} // namespace bitspec::artifact

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Persistent content-addressed artifact store: compile-once /
+ * serve-many across processes (DESIGN.md "Artifact store").
+ *
+ * Layout: <dir>/<flavour>/<key-hex>.bsart, where <flavour> names the
+ * producing build (git describe + build type + snapshot schema hash)
+ * so binaries from different commits or build types never exchange
+ * artifacts, and <key-hex> is the 128-bit content hash of the
+ * canonical system key (workload, source hash, full config, profile
+ * seed, flavour).
+ *
+ * Concurrency and crash safety:
+ *  - Readers are lock-free: open + mmap of an immutable file that was
+ *    published with a temp-file + rename() pair, so a reader sees
+ *    either the complete artifact or none at all — never a torn
+ *    write. Unlinking during a read is safe (POSIX keeps the mapping
+ *    alive).
+ *  - Writers serialize per key through a non-blocking flock on a
+ *    sidecar .lock file; a losing writer simply skips the publish
+ *    (the winner is writing identical content — artifacts are pure
+ *    functions of their key).
+ *  - Every payload is CRC-32 checked and schema-hash checked on load.
+ *    Truncation, bit flips, stale schemas or any other mismatch count
+ *    as `invalid`, the file is discarded, and the caller recompiles;
+ *    corruption can cost time, never correctness and never a crash.
+ *
+ * Size bounding: after each publish the store enforces a byte budget
+ * over the whole directory tree with an LRU sweep (loads touch the
+ * file mtime; eviction drops oldest-read first, always sparing the
+ * just-published artifact).
+ */
+
+#ifndef BITSPEC_ARTIFACT_STORE_H_
+#define BITSPEC_ARTIFACT_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "artifact/snapshot.h"
+#include "support/hash.h"
+
+namespace bitspec::artifact
+{
+
+/** Disk-tier counters (ExperimentStats republishes these). */
+struct StoreStats
+{
+    uint64_t hits = 0;     ///< Artifacts served.
+    uint64_t misses = 0;   ///< Key not present (clean miss).
+    uint64_t writes = 0;   ///< Artifacts published.
+    uint64_t invalid = 0;  ///< Corrupt/stale artifacts discarded.
+    uint64_t writeSkips = 0; ///< Publishes yielded to a racing writer.
+    uint64_t evictions = 0;  ///< Files removed by the size budget.
+};
+
+/**
+ * One artifact directory. Thread-safe; any number of stores (in any
+ * number of processes) may share a directory.
+ */
+class ArtifactStore
+{
+  public:
+    /** @param dir Root directory (created on demand).
+     *  @param max_bytes Size budget enforced after each publish. */
+    ArtifactStore(std::string dir, uint64_t max_bytes);
+
+    /** Build from the BITSPEC_ARTIFACT_DIR / BITSPEC_ARTIFACT_MAX_MB
+     *  knobs; nullptr when the dir knob is unset or empty (store
+     *  disabled — the compile-counting tests rely on that default). */
+    static std::unique_ptr<ArtifactStore> fromEnv();
+
+    /**
+     * Load the artifact for @p key. @p canonical_key must be the full
+     * systemKey string; it is compared against the one embedded in
+     * the payload so a hash collision degrades to a miss. Returns
+     * nullopt on clean miss or on any validation failure.
+     */
+    std::optional<SystemSnapshot> load(const Hash128 &key,
+                                       const std::string &canonical_key);
+
+    /** Publish @p snap under @p key (atomic; yields to a concurrent
+     *  writer). Returns true when the artifact is on disk afterwards
+     *  because this call wrote it. */
+    bool publish(const Hash128 &key, const SystemSnapshot &snap);
+
+    /** Enforce the byte budget now (also runs after each publish).
+     *  @param spare Path never evicted ("" = none). */
+    void gc(const std::string &spare = "");
+
+    /** Total payload bytes currently under the store root. */
+    uint64_t diskBytes() const;
+
+    /** Absolute path an artifact for @p key would live at. */
+    std::string pathFor(const Hash128 &key) const;
+
+    const std::string &dir() const { return dir_; }
+    uint64_t maxBytes() const { return maxBytes_; }
+    StoreStats stats() const;
+
+    /** On-disk header geometry (tests patch headers by offset). */
+    static constexpr uint64_t kMagic = 0x3154524153420a7fULL; // "\x7f\nBSART1"
+    static constexpr size_t kMagicOffset = 0;
+    static constexpr size_t kSchemaOffset = 8;
+    static constexpr size_t kPayloadSizeOffset = 16;
+    static constexpr size_t kCrcOffset = 24;
+    static constexpr size_t kHeaderBytes = 32;
+
+  private:
+    std::string dir_;      ///< Root.
+    std::string flavourDir_; ///< Root + build-flavour subdirectory.
+    uint64_t maxBytes_;
+    mutable std::mutex mu_;
+    StoreStats stats_;
+};
+
+/**
+ * Identity of the producing build: git describe (baked at configure
+ * time; "nogit" outside a checkout), build type, and the snapshot
+ * schema hash. Folded into every system key, and used as the store
+ * subdirectory, so artifacts never cross builds.
+ */
+const std::string &buildFlavour();
+
+} // namespace bitspec::artifact
+
+#endif // BITSPEC_ARTIFACT_STORE_H_

@@ -1,8 +1,10 @@
 #include "core/experiment.h"
 
 #include <chrono>
+#include <cstring>
 #include <exception>
 
+#include "artifact/store.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/error.h"
@@ -25,23 +27,145 @@ fnv1a(const std::string &s)
     return h;
 }
 
-void
-appendField(std::string &key, const char *name, double v)
+/**
+ * The canonical key and its 128-bit hash are two renderings of the
+ * same field sequence, kept in lockstep by folding through a sink:
+ * StringKeySink builds the readable key (artifact payloads embed it
+ * for collision detection), HashKeySink digests the identical fields
+ * without any heap allocation — the rendering getOrBuild uses per
+ * lookup.
+ */
+struct StringKeySink
 {
-    key += strFormat(";%s=%.17g", name, v);
-}
+    std::string key;
 
-void
-appendField(std::string &key, const char *name, uint64_t v)
-{
-    key += strFormat(";%s=%llu", name,
-                     static_cast<unsigned long long>(v));
-}
+    void text(const std::string &s) { key += s; }
 
-void
-appendField(std::string &key, const char *name, bool v)
+    void
+    field(const char *name, double v)
+    {
+        key += strFormat(";%s=%.17g", name, v);
+    }
+
+    void
+    field(const char *name, uint64_t v)
+    {
+        key += strFormat(";%s=%llu", name,
+                         static_cast<unsigned long long>(v));
+    }
+
+    void
+    field(const char *name, bool v)
+    {
+        key += strFormat(";%s=%d", name, v ? 1 : 0);
+    }
+
+    void
+    field(const char *name, const std::string &v)
+    {
+        key += strFormat(";%s=%s", name, v.c_str());
+    }
+};
+
+struct HashKeySink
 {
-    key += strFormat(";%s=%d", name, v ? 1 : 0);
+    Hash128Builder h;
+
+    void
+    text(const std::string &s)
+    {
+        h.updateU64(s.size());
+        h.update(s);
+    }
+
+    void
+    name(const char *n)
+    {
+        h.update(n, std::strlen(n) + 1); // NUL delimits field names.
+    }
+
+    void
+    field(const char *n, double v)
+    {
+        name(n);
+        h.updateDouble(v); // Bit pattern <=> %.17g round-trip.
+    }
+
+    void
+    field(const char *n, uint64_t v)
+    {
+        name(n);
+        h.updateU64(v);
+    }
+
+    void
+    field(const char *n, bool v)
+    {
+        name(n);
+        h.updateU64(v ? 1 : 0);
+    }
+
+    void
+    field(const char *n, const std::string &v)
+    {
+        name(n);
+        text(v);
+    }
+};
+
+template <typename Sink>
+void
+foldSystemKey(Sink &s, const Workload &w, const SystemConfig &c,
+              uint64_t profile_seed)
+{
+    auto appendField = [&s](const char *n, auto v) { s.field(n, v); };
+    s.text(w.name);
+    appendField("src", fnv1a(w.source));
+    appendField("isa", static_cast<uint64_t>(c.isa));
+    appendField("squeeze", c.squeeze);
+    appendField("heuristic",
+                static_cast<uint64_t>(c.squeezeOpts.heuristic));
+    appendField("speculate", c.squeezeOpts.speculate);
+    appendField("cmpElim", c.squeezeOpts.compareElimination);
+    appendField("bitmask", c.squeezeOpts.bitmaskElision);
+    appendField("staticKb", c.squeezeOpts.staticAnalysis);
+    appendField("unroll",
+                static_cast<uint64_t>(c.expander.unrollFactor));
+    appendField("maxFn",
+                static_cast<uint64_t>(c.expander.maxFunctionSize));
+    appendField("maxLoop",
+                static_cast<uint64_t>(c.expander.maxLoopSize));
+    appendField("expand", c.expander.enabled);
+    appendField("dts", c.dts);
+    appendField("vNom", c.dtsParams.vNominal);
+    appendField("vTh", c.dtsParams.vThreshold);
+    appendField("alpha", c.dtsParams.alpha);
+    appendField("vMin", c.dtsParams.vMin);
+    appendField("fLogic", c.dtsParams.fracLogic);
+    appendField("fAddSub", c.dtsParams.fracAddSub);
+    appendField("fMulDiv", c.dtsParams.fracMulDiv);
+    appendField("fMem", c.dtsParams.fracMem);
+    appendField("fBranch", c.dtsParams.fracBranch);
+    appendField("widthAware", c.dtsParams.widthAware);
+    appendField("fAddSub8", c.dtsParams.fracAddSub8);
+    appendField("fLogic8", c.dtsParams.fracLogic8);
+    appendField("errRate", c.dtsParams.errorRate);
+    appendField("recE", c.dtsParams.recoveryEnergy);
+    appendField("eAlu32", c.energy.alu32);
+    appendField("eAlu8", c.energy.alu8);
+    appendField("eMulDiv", c.energy.mulDiv);
+    appendField("eRfR32", c.energy.rfRead32);
+    appendField("eRfW32", c.energy.rfWrite32);
+    appendField("eRfR8", c.energy.rfRead8);
+    appendField("eRfW8", c.energy.rfWrite8);
+    appendField("eIc", c.energy.icacheAccess);
+    appendField("eDc", c.energy.dcacheAccess);
+    appendField("eL2", c.energy.l2Access);
+    appendField("eDram", c.energy.dramAccess);
+    appendField("ePipe", c.energy.pipelinePerCycle);
+    appendField("eMisspec", c.energy.misspecRecovery);
+    appendField("pseed", profile_seed);
+    appendField("flavour", artifact::buildFlavour());
 }
 
 } // namespace
@@ -50,65 +174,47 @@ std::string
 ExperimentRunner::systemKey(const Workload &w, const SystemConfig &c,
                             uint64_t profile_seed)
 {
-    std::string key = w.name;
-    appendField(key, "src", fnv1a(w.source));
-    appendField(key, "isa", static_cast<uint64_t>(c.isa));
-    appendField(key, "squeeze", c.squeeze);
-    appendField(key, "heuristic",
-                static_cast<uint64_t>(c.squeezeOpts.heuristic));
-    appendField(key, "speculate", c.squeezeOpts.speculate);
-    appendField(key, "cmpElim", c.squeezeOpts.compareElimination);
-    appendField(key, "bitmask", c.squeezeOpts.bitmaskElision);
-    appendField(key, "staticKb", c.squeezeOpts.staticAnalysis);
-    appendField(key, "unroll",
-                static_cast<uint64_t>(c.expander.unrollFactor));
-    appendField(key, "maxFn",
-                static_cast<uint64_t>(c.expander.maxFunctionSize));
-    appendField(key, "maxLoop",
-                static_cast<uint64_t>(c.expander.maxLoopSize));
-    appendField(key, "expand", c.expander.enabled);
-    appendField(key, "dts", c.dts);
-    appendField(key, "vNom", c.dtsParams.vNominal);
-    appendField(key, "vTh", c.dtsParams.vThreshold);
-    appendField(key, "alpha", c.dtsParams.alpha);
-    appendField(key, "vMin", c.dtsParams.vMin);
-    appendField(key, "fLogic", c.dtsParams.fracLogic);
-    appendField(key, "fAddSub", c.dtsParams.fracAddSub);
-    appendField(key, "fMulDiv", c.dtsParams.fracMulDiv);
-    appendField(key, "fMem", c.dtsParams.fracMem);
-    appendField(key, "fBranch", c.dtsParams.fracBranch);
-    appendField(key, "widthAware", c.dtsParams.widthAware);
-    appendField(key, "fAddSub8", c.dtsParams.fracAddSub8);
-    appendField(key, "fLogic8", c.dtsParams.fracLogic8);
-    appendField(key, "errRate", c.dtsParams.errorRate);
-    appendField(key, "recE", c.dtsParams.recoveryEnergy);
-    appendField(key, "eAlu32", c.energy.alu32);
-    appendField(key, "eAlu8", c.energy.alu8);
-    appendField(key, "eMulDiv", c.energy.mulDiv);
-    appendField(key, "eRfR32", c.energy.rfRead32);
-    appendField(key, "eRfW32", c.energy.rfWrite32);
-    appendField(key, "eRfR8", c.energy.rfRead8);
-    appendField(key, "eRfW8", c.energy.rfWrite8);
-    appendField(key, "eIc", c.energy.icacheAccess);
-    appendField(key, "eDc", c.energy.dcacheAccess);
-    appendField(key, "eL2", c.energy.l2Access);
-    appendField(key, "eDram", c.energy.dramAccess);
-    appendField(key, "ePipe", c.energy.pipelinePerCycle);
-    appendField(key, "eMisspec", c.energy.misspecRecovery);
-    appendField(key, "pseed", profile_seed);
-    return key;
+    StringKeySink s;
+    foldSystemKey(s, w, c, profile_seed);
+    return s.key;
 }
 
-ExperimentRunner::ExperimentRunner(unsigned threads) : pool_(threads) {}
+Hash128
+ExperimentRunner::systemKeyHash(const Workload &w,
+                                const SystemConfig &c,
+                                uint64_t profile_seed)
+{
+    HashKeySink s;
+    foldSystemKey(s, w, c, profile_seed);
+    return s.h.digest();
+}
+
+ExperimentRunner::ExperimentRunner(unsigned threads)
+    : pool_(threads), store_(artifact::ArtifactStore::fromEnv())
+{}
 
 ExperimentRunner::~ExperimentRunner() = default;
+
+void
+ExperimentRunner::enableArtifactStore(const std::string &dir,
+                                      uint64_t max_bytes)
+{
+    store_ =
+        std::make_unique<artifact::ArtifactStore>(dir, max_bytes);
+}
+
+const artifact::ArtifactStore *
+ExperimentRunner::artifactStore() const
+{
+    return store_.get();
+}
 
 std::shared_ptr<ExperimentRunner::CachedSystem>
 ExperimentRunner::getOrBuild(const Workload &w,
                              const SystemConfig &config,
                              uint64_t profile_seed)
 {
-    const std::string key = systemKey(w, config, profile_seed);
+    const Hash128 key = systemKeyHash(w, config, profile_seed);
 
     std::promise<std::shared_ptr<CachedSystem>> promise;
     std::shared_future<std::shared_ptr<CachedSystem>> fut;
@@ -139,19 +245,43 @@ ExperimentRunner::getOrBuild(const Workload &w,
         trace::instant("cache.miss", "experiment",
                        {{"workload", w.name}});
         try {
-            auto sys = std::make_shared<CachedSystem>(w, config,
-                                                      profile_seed);
-            // Absorb the build's squeezer stats once per compile (runs
-            // reusing this System do not re-count them).
-            const SqueezeStats &sq = sys->sys.squeezeStats();
-            MetricsRegistry::Labels wl = {{"workload", w.name}};
-            reg.counter("squeeze.narrowed", wl).add(sq.narrowed);
-            reg.counter("squeeze.regions", wl).add(sq.regions);
-            reg.counter("squeeze.checks_dropped", wl)
-                .add(sq.checksDropped);
-            reg.counter("lint.proven_safe", wl).add(sq.lintProvenSafe);
-            reg.counter("lint.proven_unsafe", wl)
-                .add(sq.lintProvenUnsafe);
+            std::shared_ptr<CachedSystem> sys;
+            std::string canonical;
+            if (store_) {
+                canonical = systemKey(w, config, profile_seed);
+                if (auto snap = store_->load(key, canonical)) {
+                    sys = std::make_shared<CachedSystem>(*snap, config);
+                    reg.counter("experiment.disk.hits",
+                                {{"workload", w.name}})
+                        .add();
+                    trace::instant("disk.hit", "experiment",
+                                   {{"workload", w.name}});
+                } else {
+                    reg.counter("experiment.disk.misses",
+                                {{"workload", w.name}})
+                        .add();
+                }
+            }
+            if (!sys) {
+                sys = std::make_shared<CachedSystem>(w, config,
+                                                     profile_seed);
+                // Absorb the build's squeezer stats once per real
+                // compile (runs reusing this System — and disk-tier
+                // restores — do not re-count them).
+                const SqueezeStats &sq = sys->sys.squeezeStats();
+                MetricsRegistry::Labels wl = {{"workload", w.name}};
+                reg.counter("squeeze.narrowed", wl).add(sq.narrowed);
+                reg.counter("squeeze.regions", wl).add(sq.regions);
+                reg.counter("squeeze.checks_dropped", wl)
+                    .add(sq.checksDropped);
+                reg.counter("lint.proven_safe", wl)
+                    .add(sq.lintProvenSafe);
+                reg.counter("lint.proven_unsafe", wl)
+                    .add(sq.lintProvenUnsafe);
+                if (store_)
+                    store_->publish(key,
+                                    sys->sys.makeSnapshot(canonical));
+            }
             promise.set_value(std::move(sys));
         } catch (...) {
             // Every cell sharing this key sees the build failure.
@@ -253,7 +383,15 @@ ExperimentStats
 ExperimentRunner::stats() const
 {
     std::lock_guard<std::mutex> lock(cacheMu_);
-    return stats_;
+    ExperimentStats out = stats_;
+    if (store_) {
+        const artifact::StoreStats ds = store_->stats();
+        out.diskHits = ds.hits;
+        out.diskMisses = ds.misses;
+        out.diskWrites = ds.writes;
+        out.diskInvalid = ds.invalid;
+    }
+    return out;
 }
 
 void

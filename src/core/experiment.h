@@ -31,11 +31,17 @@
 #include <vector>
 
 #include "core/system.h"
+#include "support/hash.h"
 #include "support/threadpool.h"
 #include "workloads/workload.h"
 
 namespace bitspec
 {
+
+namespace artifact
+{
+class ArtifactStore;
+}
 
 /** One cell of an experiment matrix. */
 struct ExperimentCell
@@ -52,11 +58,19 @@ struct ExperimentCell
 struct ExperimentStats
 {
     uint64_t cells = 0;        ///< Cells executed.
-    uint64_t systemsBuilt = 0; ///< Cache misses (compiles).
+    /** In-memory cache misses. Each one either restored a snapshot
+     *  from the artifact store (diskHits) or ran a full compile. */
+    uint64_t systemsBuilt = 0;
     uint64_t cacheHits = 0;    ///< Cells served by a cached System.
     /** Cache hits that blocked on a build still in flight (the
      *  shared_future was not ready when the requester arrived). */
     uint64_t inflightWaits = 0;
+
+    /** Disk tier (all zero when no artifact store is attached). */
+    uint64_t diskHits = 0;    ///< Systems restored from disk.
+    uint64_t diskMisses = 0;  ///< Lookups that fell through to compile.
+    uint64_t diskWrites = 0;  ///< Snapshots published after a compile.
+    uint64_t diskInvalid = 0; ///< Corrupt/stale artifacts discarded.
 };
 
 /**
@@ -89,12 +103,36 @@ class ExperimentRunner
     void clearCache();
 
     /**
+     * Attach an on-disk artifact store (second cache tier): getOrBuild
+     * consults it before compiling and publishes after. The
+     * constructor already wires one up from BITSPEC_ARTIFACT_DIR /
+     * BITSPEC_ARTIFACT_MAX_MB; this override is for tests and benches
+     * that manage their own directory. Call before the first run.
+     */
+    void enableArtifactStore(const std::string &dir,
+                             uint64_t max_bytes);
+
+    /** The attached store, or nullptr when the disk tier is off. */
+    const artifact::ArtifactStore *artifactStore() const;
+
+    /**
      * Canonical cache key of a cell's compiled System: workload name,
      * FNV-1a hash of the source text, every SystemConfig field (in
-     * declaration order, doubles at full precision) and the profile
-     * seed. Run seeds are deliberately absent.
+     * declaration order, doubles at full precision), the profile
+     * seed, and the build flavour (git describe + build type +
+     * snapshot schema hash — see artifact::buildFlavour). Run seeds
+     * are deliberately absent.
      */
     static std::string systemKey(const Workload &w,
+                                 const SystemConfig &config,
+                                 uint64_t profile_seed);
+
+    /** 128-bit content hash of the same fields, computed without
+     *  building the key string (the hot getOrBuild path); also the
+     *  artifact store's file name. Equal canonical keys <=> equal
+     *  hashes (module a 2^-128 collision, which the store's embedded
+     *  key string additionally guards against). */
+    static Hash128 systemKeyHash(const Workload &w,
                                  const SystemConfig &config,
                                  uint64_t profile_seed);
 
@@ -111,6 +149,12 @@ class ExperimentRunner
                   w.setInput(m, profile_seed);
               })
         {}
+
+        /** Warm start from a disk artifact. */
+        CachedSystem(const artifact::SystemSnapshot &snap,
+                     const SystemConfig &config)
+            : sys(snap, config)
+        {}
     };
 
     std::shared_ptr<CachedSystem> getOrBuild(const Workload &w,
@@ -121,10 +165,14 @@ class ExperimentRunner
     ThreadPool pool_;
     mutable std::mutex cacheMu_;
     /** Value is a shared_future so concurrent requesters of the same
-     *  key block on one build instead of compiling twice. */
-    std::unordered_map<std::string,
-                       std::shared_future<std::shared_ptr<CachedSystem>>>
+     *  key block on one build instead of compiling twice. Keyed by
+     *  the 128-bit content hash — no string building per lookup. */
+    std::unordered_map<Hash128,
+                       std::shared_future<std::shared_ptr<CachedSystem>>,
+                       Hash128Hasher>
         cache_;
+    /** Disk tier; nullptr when disabled (the default). */
+    std::unique_ptr<artifact::ArtifactStore> store_;
     ExperimentStats stats_;
 };
 

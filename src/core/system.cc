@@ -123,6 +123,55 @@ System::System(const std::string &source, const SystemConfig &config,
         globalSnapshot_.emplace_back(g.get(), g->data());
 }
 
+System::System(const artifact::SystemSnapshot &snap,
+               const SystemConfig &config)
+    : config_(config), engine_(engineFromEnv())
+{
+    trace::Span span("system.restore", "compile");
+    module_ = std::make_unique<Module>();
+    for (const artifact::SystemSnapshot::GlobalImage &g :
+         snap.globals) {
+        Global *ng = module_->addGlobal(
+            g.name, g.elemBits, static_cast<size_t>(g.elemCount));
+        ng->setAddress(g.address);
+        ng->setData(g.data);
+    }
+    compiled_.program = snap.program;
+    compiled_.stats = snap.backendStats;
+    squeezeStats_ = snap.squeezeStats;
+    expandStats_ = snap.expandStats;
+    trainIrSteps_ = snap.profiledIrSteps;
+
+    globalSnapshot_.reserve(module_->globals().size());
+    for (const auto &g : module_->globals())
+        globalSnapshot_.emplace_back(g.get(), g->data());
+}
+
+artifact::SystemSnapshot
+System::makeSnapshot(const std::string &key) const
+{
+    artifact::SystemSnapshot snap;
+    snap.key = key;
+    snap.program = compiled_.program;
+    snap.backendStats = compiled_.stats;
+    snap.squeezeStats = squeezeStats_;
+    snap.expandStats = expandStats_;
+    snap.profiledIrSteps = trainIrSteps_;
+    snap.globals.reserve(globalSnapshot_.size());
+    // The pristine post-profiling images, not the possibly
+    // run-mutated live data (run() restores from this same snapshot).
+    for (const auto &[g, bytes] : globalSnapshot_) {
+        artifact::SystemSnapshot::GlobalImage img;
+        img.name = g->name();
+        img.elemBits = g->elemBits();
+        img.elemCount = g->elemCount();
+        img.address = g->address();
+        img.data = bytes;
+        snap.globals.push_back(std::move(img));
+    }
+    return snap;
+}
+
 void
 System::setCoreEngine(CoreEngine engine)
 {

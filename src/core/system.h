@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "artifact/snapshot.h"
 #include "backend/compiler.h"
 #include "energy/dts.h"
 #include "energy/model.h"
@@ -112,6 +113,28 @@ class System
     System(const std::string &source, const SystemConfig &config,
            const std::function<void(Module &)> &train_input = {},
            const std::vector<uint64_t> &train_args = {});
+
+    /**
+     * Warm-start from an artifact-store snapshot: no frontend,
+     * profiling, squeeze or codegen — the linked program, stats and
+     * post-profiling global images come straight from @p snap.
+     * @p config must be the configuration the snapshot was compiled
+     * under (the store's content-addressed key guarantees this).
+     *
+     * The restored Module carries globals only (run inputs mutate
+     * globals by name; nothing downstream of the backend reads IR
+     * functions), so run()s are bit-identical to a fresh compile —
+     * ctest-enforced by tests/artifact/artifact_diff_test.cc — but
+     * the training interpreter is not available.
+     */
+    System(const artifact::SystemSnapshot &snap,
+           const SystemConfig &config);
+
+    /** Capture this System for the artifact store. @p key is the
+     *  canonical systemKey embedded for collision detection. Uses the
+     *  pristine post-profiling global snapshot, so capturing after
+     *  run()s is safe. */
+    artifact::SystemSnapshot makeSnapshot(const std::string &key) const;
 
     /**
      * Run with fresh input: global data is first restored to its

@@ -143,6 +143,36 @@ TEST(ExperimentRunner, SystemKeySeparatesConfigs)
               ExperimentRunner::systemKey(w, tweaked, 0));
 }
 
+TEST(ExperimentRunner, SystemKeyHashMirrorsCanonicalKey)
+{
+    // The 128-bit hash (cache key, artifact file name) must separate
+    // and equate exactly as the canonical string key does.
+    const Workload &w = getWorkload("CRC32");
+    const Workload &w2 = getWorkload("dijkstra");
+    Hash128 base = ExperimentRunner::systemKeyHash(
+        w, SystemConfig::baseline(), 0);
+    EXPECT_EQ(base, ExperimentRunner::systemKeyHash(
+                        w, SystemConfig::baseline(), 0));
+
+    std::vector<Hash128> keys = {base};
+    auto expectFresh = [&keys](Hash128 k) {
+        for (const Hash128 &seen : keys)
+            EXPECT_FALSE(k == seen) << k.hex();
+        keys.push_back(k);
+    };
+    expectFresh(
+        ExperimentRunner::systemKeyHash(w, SystemConfig::bitspec(), 0));
+    expectFresh(ExperimentRunner::systemKeyHash(
+        w, SystemConfig::baseline(), 1));
+    expectFresh(ExperimentRunner::systemKeyHash(
+        w2, SystemConfig::baseline(), 0));
+    SystemConfig tweaked = SystemConfig::baseline();
+    tweaked.energy.rfRead32 += 0.125;
+    expectFresh(ExperimentRunner::systemKeyHash(w, tweaked, 0));
+    SystemConfig nospec = SystemConfig::noSpeculation();
+    expectFresh(ExperimentRunner::systemKeyHash(w, nospec, 0));
+}
+
 TEST(ExperimentRunner, WorkerExceptionPropagatesAndRunnerSurvives)
 {
     Workload bad;
