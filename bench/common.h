@@ -46,7 +46,12 @@ inline ExperimentCell
 cell(const Workload &w, const SystemConfig &cfg,
      uint64_t profile_seed = 0, uint64_t run_seed = 0)
 {
-    return ExperimentCell{&w, cfg, profile_seed, run_seed};
+    ExperimentCell c;
+    c.workload = &w;
+    c.config = cfg;
+    c.profileSeed = profile_seed;
+    c.runSeed = run_seed;
+    return c;
 }
 
 /** Run a whole matrix; results in submission order. */

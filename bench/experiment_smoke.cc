@@ -361,6 +361,10 @@ staticLintSection(const std::vector<StaticLintRow> &rows)
            << r.stats.lintProvenUnsafe << ",\n";
         os << "      \"lint_speculative\": " << r.stats.lintSpeculative
            << ",\n";
+        os << "      \"lint_spec_leaks\": " << r.stats.lintSpecLeaks
+           << ",\n";
+        os << "      \"lint_leaks_discharged\": "
+           << r.stats.lintLeaksDischarged << ",\n";
         os << "      \"static_narrowed\": " << r.stats.staticNarrowed
            << ",\n";
         os << "      \"checks_dropped\": " << r.stats.checksDropped

@@ -1,7 +1,11 @@
 #include "analysis/lint.h"
 
+#include <algorithm>
+#include <set>
+
 #include "analysis/cfg.h"
 #include "analysis/known_bits.h"
+#include "analysis/taint.h"
 #include "obs/trace.h"
 #include "support/bits.h"
 
@@ -110,6 +114,7 @@ lintVerdictName(LintVerdict v)
       case LintVerdict::ProvenSafe: return "proven-safe";
       case LintVerdict::ProvenUnsafe: return "proven-unsafe";
       case LintVerdict::Speculative: return "speculative";
+      case LintVerdict::SpecLeak: return "spec-leak";
     }
     return "?";
 }
@@ -119,14 +124,21 @@ lintFunction(Function &f)
 {
     LintReport report;
     KnownBitsAnalysis kb(f);
+    std::set<const Instruction *> proven_safe;
+    // Per-region running site index (checks in block order).
+    std::map<int, int> siteOf;
     for (const auto &bb : f.blocks()) {
+        const SpecRegion *sr = f.regionOf(bb.get());
         for (const auto &inst : bb->insts()) {
             if (inst->isSpeculative()) {
                 LintFinding fd = classify(
                     inst.get(), kb, f.name() + ":" + bb->name());
+                fd.regionId = sr != nullptr ? sr->id : -1;
+                fd.siteIndex = siteOf[fd.regionId]++;
                 switch (fd.verdict) {
                   case LintVerdict::ProvenSafe:
                     ++report.provenSafe;
+                    proven_safe.insert(inst.get());
                     break;
                   case LintVerdict::ProvenUnsafe:
                     ++report.provenUnsafe;
@@ -134,6 +146,8 @@ lintFunction(Function &f)
                   case LintVerdict::Speculative:
                     ++report.speculative;
                     break;
+                  case LintVerdict::SpecLeak:
+                    break; // classify never returns SpecLeak.
                 }
                 report.findings.push_back(std::move(fd));
             } else if (inst->type().bits == kSlice) {
@@ -141,6 +155,56 @@ lintFunction(Function &f)
             }
         }
     }
+
+    // Refresh the squeezer-emitted region check lists so downstream
+    // consumers (applyLintVerdicts, attribution) see the live set —
+    // hand-built fixtures get theirs populated here.
+    for (auto &sr : f.specRegionsMut()) {
+        sr->checks.clear();
+        for (const BasicBlock *bb : sr->blocks)
+            for (const auto &inst : bb->insts())
+                if (inst->isSpeculative())
+                    sr->checks.push_back(inst.get());
+    }
+
+    // Non-interference sweep: transient values must not reach
+    // handler-visible state inside the region window (taint.h).
+    TaintReport taint = taintFunction(f, kb, proven_safe);
+    report.leaksDischarged += taint.dischargedSites;
+    for (const RegionTaintResult &rr : taint.regions) {
+        for (const TaintSink &s : rr.sinks) {
+            if (s.discharged)
+                continue;
+            LintFinding fd;
+            fd.inst = s.inst;
+            fd.verdict = LintVerdict::SpecLeak;
+            fd.srcLine = s.srcLine;
+            fd.regionId = s.regionId;
+            fd.siteIndex = s.siteIndex;
+            fd.message =
+                f.name() + ": region " + std::to_string(s.regionId) +
+                ": " + taintSinkKindName(s.kind) + " sink " +
+                std::string(opcodeName(s.inst->op())) +
+                (s.srcLine > 0
+                     ? " (line " + std::to_string(s.srcLine) + ")"
+                     : "") +
+                ": spec-leak — " + s.why;
+            ++report.specLeaks;
+            report.findings.push_back(std::move(fd));
+        }
+    }
+
+    // Deterministic report order: (region, check-vs-leak, site).
+    std::stable_sort(report.findings.begin(), report.findings.end(),
+                     [](const LintFinding &a, const LintFinding &b) {
+                         if (a.regionId != b.regionId)
+                             return a.regionId < b.regionId;
+                         bool la = a.verdict == LintVerdict::SpecLeak;
+                         bool lb = b.verdict == LintVerdict::SpecLeak;
+                         if (la != lb)
+                             return lb;
+                         return a.siteIndex < b.siteIndex;
+                     });
     return report;
 }
 
@@ -154,6 +218,9 @@ lintModule(Module &m)
     span.arg("proven_safe", std::to_string(report.provenSafe));
     span.arg("proven_unsafe", std::to_string(report.provenUnsafe));
     span.arg("speculative", std::to_string(report.speculative));
+    span.arg("spec_leaks", std::to_string(report.specLeaks));
+    span.arg("leaks_discharged",
+             std::to_string(report.leaksDischarged));
     return report;
 }
 
@@ -172,6 +239,10 @@ applyLintVerdicts(Function &f, const LintReport &report)
         inst->setSpeculative(false);
         inst->setSpecOrigBits(0);
         ++st.checksDropped;
+        // Keep the region's check-list metadata in sync: the site no
+        // longer carries a check (and may be DCE'd outright).
+        if (SpecRegion *sr = f.regionOf(inst->parent()))
+            std::erase(sr->checks, inst);
     }
     if (st.checksDropped == 0)
         return st;

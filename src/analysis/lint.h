@@ -40,28 +40,47 @@ enum class LintVerdict
     ProvenSafe,   ///< Check can never fire; droppable.
     ProvenUnsafe, ///< Check always fires; the squeeze is useless.
     Speculative,  ///< Statically undecided (paper behaviour).
+    /** A transient value reaches handler-visible state on the
+     *  misspeculating path before the check commits (speculative
+     *  non-interference violation — see analysis/taint.h). Anchored
+     *  at the sink, not the check. */
+    SpecLeak,
 };
 
 const char *lintVerdictName(LintVerdict v);
 
-/** One classified speculative site. */
+/** One classified speculative site (or, for SpecLeak, sink). */
 struct LintFinding
 {
     const Instruction *inst = nullptr;
     LintVerdict verdict = LintVerdict::Speculative;
     int srcLine = 0;     ///< 1-based source line; 0 = synthesized.
+    /** SpecRegion id of the site's block; -1 outside any region. */
+    int regionId = -1;
+    /** Order of the site within its region (block instruction order
+     *  for checks, sink order for leaks). Findings are sorted by
+     *  (function, regionId, verdict-class, siteIndex), so reports
+     *  and snapshots never depend on container iteration order. */
+    int siteIndex = 0;
     std::string message; ///< Human-readable diagnostic.
 };
 
 /** Lint result over a function or module. */
 struct LintReport
 {
-    std::vector<LintFinding> findings; ///< One per speculative site.
+    std::vector<LintFinding> findings; ///< One per site/sink.
     unsigned provenSafe = 0;
     unsigned provenUnsafe = 0;
     unsigned speculative = 0;
     /** Slice-typed defs with no check (exact narrowing / source i8). */
     unsigned exactSlices = 0;
+    /** Undischarged speculative non-interference sinks (SpecLeak
+     *  findings); zero on every shipped workload — ctest-enforced by
+     *  tests/analysis/lint_selfcheck_test.cc. */
+    unsigned specLeaks = 0;
+    /** Tainted sinks discharged with known-bits facts (D1/D2); these
+     *  produce no finding, only the tally. */
+    unsigned leaksDischarged = 0;
 
     LintReport &
     operator+=(const LintReport &o)
@@ -72,6 +91,8 @@ struct LintReport
         provenUnsafe += o.provenUnsafe;
         speculative += o.speculative;
         exactSlices += o.exactSlices;
+        specLeaks += o.specLeaks;
+        leaksDischarged += o.leaksDischarged;
         return *this;
     }
 };

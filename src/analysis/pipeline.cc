@@ -27,7 +27,8 @@ void
 reportUnsafe(const LintReport &report, const char *stage)
 {
     for (const LintFinding &f : report.findings)
-        if (f.verdict == LintVerdict::ProvenUnsafe)
+        if (f.verdict == LintVerdict::ProvenUnsafe ||
+            f.verdict == LintVerdict::SpecLeak)
             std::fprintf(stderr, "bitspec-lint [%s]: %s\n", stage,
                          f.message.c_str());
 }

@@ -1,0 +1,251 @@
+#include "analysis/taint.h"
+
+#include <map>
+
+#include "obs/trace.h"
+#include "support/bits.h"
+
+namespace bitspec
+{
+
+namespace
+{
+
+constexpr uint64_t kCacheLine = 64; ///< L1D line (uarch/cache.h).
+
+std::string
+boundsStr(const KnownBits &k)
+{
+    return "[" + std::to_string(k.lo) + "," + std::to_string(k.hi) +
+           "]";
+}
+
+/** D4: the whole address range provably stays inside one global —
+ *  the transient read cannot escape data the program owns. */
+bool
+staysInOneGlobal(const KnownBits &addr, const Module *m)
+{
+    if (m == nullptr || addr.hi == ~0ULL)
+        return false;
+    for (const auto &g : m->globals()) {
+        uint64_t base = g->address();
+        if (base == 0)
+            continue; // Globals not laid out yet.
+        if (addr.lo >= base && addr.hi < base + g->sizeBytes())
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+const char *
+taintName(Taint t)
+{
+    switch (t) {
+      case Taint::Clean: return "clean";
+      case Taint::Transient: return "transient";
+      case Taint::Secret: return "secret";
+    }
+    return "?";
+}
+
+const char *
+taintSinkKindName(TaintSinkKind k)
+{
+    switch (k) {
+      case TaintSinkKind::StoreAddr: return "store-addr";
+      case TaintSinkKind::SecretLoad: return "secret-load";
+      case TaintSinkKind::TaintedOut: return "tainted-output";
+    }
+    return "?";
+}
+
+Taint
+taintTransfer(Opcode op, const std::vector<Taint> &operands)
+{
+    switch (op) {
+      case Opcode::Load:
+        // Reading memory at a tainted address yields contents the
+        // committed path never reads. The caller applies the D4
+        // in-array downgrade; the pure transfer is maximally cautious.
+        return !operands.empty() && operands[0] != Taint::Clean
+                   ? Taint::Secret
+                   : Taint::Clean;
+      case Opcode::Store:
+      case Opcode::Output:
+      case Opcode::Br:
+      case Opcode::CondBr:
+      case Opcode::Ret:
+      case Opcode::Unreachable:
+        return Taint::Clean; // No result value.
+      default: {
+        Taint t = Taint::Clean;
+        for (Taint o : operands)
+            t = taintJoin(t, o);
+        return t;
+      }
+    }
+}
+
+TaintReport
+taintFunction(Function &f, const KnownBitsAnalysis &kb,
+              const std::set<const Instruction *> &proven_safe)
+{
+    TaintReport report;
+    const Module *m = f.parent();
+
+    for (auto &sr : f.specRegionsMut()) {
+        RegionTaintResult r;
+        r.region = sr.get();
+        r.regionId = sr->id;
+
+        // Window-local taint environment. Anything not in the map
+        // (arguments, constants, values defined before the region
+        // entry) is committed state: Clean.
+        std::map<const Value *, Taint> env;
+        auto taintOf = [&](const Value *v) {
+            auto it = env.find(v);
+            return it == env.end() ? Taint::Clean : it->second;
+        };
+
+        auto addSink = [&](const Instruction *inst, TaintSinkKind kind,
+                           Taint t, bool discharged, std::string why) {
+            TaintSink s;
+            s.inst = inst;
+            s.kind = kind;
+            s.taint = t;
+            s.regionId = sr->id;
+            s.siteIndex = static_cast<int>(r.sinks.size());
+            s.srcLine = inst->srcLine();
+            s.discharged = discharged;
+            s.why = std::move(why);
+            if (discharged)
+                ++r.discharged;
+            else
+                ++r.leaks;
+            r.sinks.push_back(std::move(s));
+        };
+
+        for (BasicBlock *bb : sr->blocks) {
+            for (const auto &inst_p : bb->insts()) {
+                const Instruction *inst = inst_p.get();
+                std::vector<Taint> ops;
+                ops.reserve(inst->numOperands());
+                for (const Value *op : inst->operands())
+                    ops.push_back(taintOf(op));
+
+                // ---- Sinks: handler-visible effects. ----
+                if (inst->op() == Opcode::Store) {
+                    Taint at = ops[0];
+                    if (at != Taint::Clean) {
+                        KnownBits a = kb.known(inst->operand(0));
+                        if (a.isConstant()) {
+                            addSink(inst, TaintSinkKind::StoreAddr, at,
+                                    true,
+                                    "address provably constant " +
+                                        boundsStr(a) +
+                                        "; nothing is encoded (D1)");
+                        } else if (at == Taint::Transient) {
+                            addSink(inst, TaintSinkKind::StoreAddr, at,
+                                    true,
+                                    "store address is transient " +
+                                        boundsStr(a) +
+                                        ": committed-derivable; data "
+                                        "squashed in the store queue "
+                                        "before retire (D5)");
+                        } else {
+                            addSink(inst, TaintSinkKind::StoreAddr, at,
+                                    false,
+                                    "store address is secret " +
+                                        boundsStr(a) +
+                                        "; its write-allocate line "
+                                        "fill encodes memory the "
+                                        "committed path never reads");
+                        }
+                    }
+                } else if (inst->op() == Opcode::Output) {
+                    Taint vt = ops.empty() ? Taint::Clean : ops[0];
+                    if (vt != Taint::Clean)
+                        addSink(inst, TaintSinkKind::TaintedOut, vt,
+                                false,
+                                std::string("output of a ") +
+                                    taintName(vt) +
+                                    " value is observable before "
+                                    "the check commits");
+                } else if (inst->op() == Opcode::Load &&
+                           ops[0] == Taint::Secret) {
+                    KnownBits a = kb.known(inst->operand(0));
+                    if (a.isConstant()) {
+                        addSink(inst, TaintSinkKind::SecretLoad,
+                                ops[0], true,
+                                "address provably constant " +
+                                    boundsStr(a) + " (D1)");
+                    } else if (a.hi != ~0ULL &&
+                               a.lo / kCacheLine ==
+                                   a.hi / kCacheLine) {
+                        addSink(inst, TaintSinkKind::SecretLoad,
+                                ops[0], true,
+                                "address range " + boundsStr(a) +
+                                    " stays in one cache line; the "
+                                    "observable set is secret-"
+                                    "independent (D2)");
+                    } else {
+                        addSink(inst, TaintSinkKind::SecretLoad,
+                                ops[0], false,
+                                "load address derives from a secret "
+                                    + boundsStr(a) +
+                                    "; the cache set touched encodes "
+                                    "memory the committed path never "
+                                    "reads");
+                    }
+                }
+
+                // ---- Transfer: result taint. ----
+                Taint result;
+                if (inst->op() == Opcode::Load) {
+                    if (ops[0] == Taint::Clean) {
+                        result = Taint::Clean;
+                    } else {
+                        // D4: an in-array transient read is
+                        // declassified to Transient; a range that can
+                        // escape every global stays Secret.
+                        KnownBits a = kb.known(inst->operand(0));
+                        result = staysInOneGlobal(a, m)
+                                     ? Taint::Transient
+                                     : Taint::Secret;
+                    }
+                } else {
+                    result = taintTransfer(inst->op(), ops);
+                }
+                // Roots: a live speculative check's result is
+                // transiently the wrapped slice value (D3 drops
+                // proven-safe checks — no misspeculating path).
+                if (inst->isSpeculative() && !proven_safe.count(inst))
+                    result = taintJoin(result, Taint::Transient);
+
+                if (result != Taint::Clean) {
+                    env[inst] = result;
+                    if (result == Taint::Secret)
+                        ++r.secretDefs;
+                    else
+                        ++r.transientDefs;
+                }
+            }
+        }
+
+        // Write the tallies back into the region metadata the backend
+        // threads into MIR (per-region leak attribution).
+        sr->leakSites = static_cast<int>(r.leaks);
+        sr->leaksDischarged = static_cast<int>(r.discharged);
+
+        report.leakSites += r.leaks;
+        report.dischargedSites += r.discharged;
+        report.transientDefs += r.transientDefs;
+        report.secretDefs += r.secretDefs;
+        report.regions.push_back(std::move(r));
+    }
+    return report;
+}
+
+} // namespace bitspec

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Speculative non-interference taint analysis (the SpecLeak lint).
+ *
+ * Threat model (see DESIGN.md "Speculative non-interference"): the
+ * repo's reference semantics resolve every bitwidth check at the
+ * checking instruction itself, but the hardware the paper targets is
+ * free to *defer* check resolution to the region exit — inside that
+ * window the consumers of a speculative result observe the wrapped
+ * narrow value (the committed value's low slice) instead of the value
+ * the handler will later repair. The lint proves, region by region,
+ * that nothing observable on such a transiently-wrong path can reveal
+ * more than the committed execution does.
+ *
+ * Lattice:  Clean < Transient < Secret.
+ *  - Clean: defined outside the region window, or derived only from
+ *    clean values; equal on the transient and committed paths.
+ *  - Transient: derived from a speculative result. Its transient
+ *    value differs from the committed one, but is a pure function of
+ *    committed state (every speculative form wraps to the low slice),
+ *    so observing it reveals nothing new. First-order wrapped-address
+ *    loads are therefore accepted-by-design — they are the paper's
+ *    whole mechanism.
+ *  - Secret: loaded from memory at a Transient (or Secret) address —
+ *    contents the committed execution never reads. Observing a Secret
+ *    breaks non-interference.
+ *
+ * The window follows the late-retire reading of an out-of-order
+ * BitSpec implementation: a check's wrapped result is forwarded
+ * eagerly to dependents, but the squash-and-redirect commits only
+ * when the check retires. Memory accesses issued in between perturb
+ * cache state observably even though they never architecturally
+ * commit (data stores drain from the store queue only at retire, so
+ * a squashed store's *data* is never visible — but the line fill its
+ * *address* triggers is).
+ *
+ * Handler-visible sinks inside the window:
+ *  - A load whose address is Secret-tainted: the classic two-access
+ *    gadget — the cache set touched encodes the secret.
+ *  - A store whose address is Secret-tainted: the store's data is
+ *    squashed with the window, but its write-allocate line fill
+ *    encodes the secret exactly like a load's.
+ *  - An Output with a tainted operand (excluded from regions by
+ *    Eq. 5; checked anyway as defence in depth).
+ *
+ * Obligations are discharged with known-bits facts:
+ *  - D1 constant address (lo == hi): the access provably touches one
+ *    fixed location; nothing is encoded.
+ *  - D2 same cache line (lo/64 == hi/64): the observable cache state
+ *    is independent of the tainted value.
+ *  - D3 proven-safe roots: a speculative site the lint proved can
+ *    never fire has no misspeculating path; it seeds no taint.
+ *  - D4 in-array transient read: a Transient-address load whose whole
+ *    address range provably stays inside one global reads data the
+ *    program owns and traverses; its result is downgraded to
+ *    Transient (declassified), not Secret. Out-of-bounds-capable
+ *    reads stay Secret — exactly Spectre-v1 bounds reasoning.
+ *  - D5 transient-address store: a store whose address taint is only
+ *    Transient perturbs the cache as a function of committed state
+ *    (the wrap), reveals nothing new, and its data never commits —
+ *    the same accepted-by-design status as first-order wrapped
+ *    loads. Only Secret-address stores are leaks.
+ */
+
+#ifndef BITSPEC_ANALYSIS_TAINT_H_
+#define BITSPEC_ANALYSIS_TAINT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/known_bits.h"
+#include "ir/module.h"
+
+namespace bitspec
+{
+
+/** Region-window taint lattice; ordered (join = max). */
+enum class Taint : uint8_t
+{
+    Clean = 0,     ///< Committed-path value.
+    Transient = 1, ///< Wrapped speculative value (committed-derivable).
+    Secret = 2,    ///< Memory the committed path never reads.
+};
+
+const char *taintName(Taint t);
+
+/** Lattice join. */
+inline Taint
+taintJoin(Taint a, Taint b)
+{
+    return a > b ? a : b;
+}
+
+/**
+ * Pure dataflow transfer for a non-root instruction: the result taint
+ * of @p op given its operand taints (address-first for Load). Exposed
+ * for golden unit tests, mirroring the kb* transfer functions.
+ *
+ * Load is the only taint-*raising* op: reading memory at a tainted
+ * address yields a Secret (the window has no store-to-load forwarding
+ * to track — Eq. 4 regions never mix loads and stores). Everything
+ * else joins its operand taints.
+ */
+Taint taintTransfer(Opcode op, const std::vector<Taint> &operands);
+
+/** Why a tainted sink was (or was not) discharged. */
+enum class TaintSinkKind
+{
+    StoreAddr,  ///< Store at a tainted address (line-fill channel).
+    SecretLoad, ///< Load at a Secret address (two-access gadget).
+    TaintedOut, ///< Output of a tainted value (defence in depth).
+};
+
+const char *taintSinkKindName(TaintSinkKind k);
+
+/** One handler-visible sink a tainted value reached. */
+struct TaintSink
+{
+    const Instruction *inst = nullptr;
+    TaintSinkKind kind = TaintSinkKind::StoreAddr;
+    Taint taint = Taint::Clean; ///< Taint of the offending operand.
+    int regionId = -1;
+    /** Position of the sink among the region's sinks, in block
+     *  instruction order (stable snapshot/sort key). */
+    int siteIndex = 0;
+    int srcLine = 0;
+    bool discharged = false; ///< Proven harmless (D1/D2/D5).
+    std::string why;         ///< Diagnostic (obligation or discharge).
+};
+
+/** Taint sweep result for one speculative region. */
+struct RegionTaintResult
+{
+    const SpecRegion *region = nullptr;
+    int regionId = -1;
+    unsigned transientDefs = 0; ///< Values tainted Transient.
+    unsigned secretDefs = 0;    ///< Values tainted Secret.
+    unsigned leaks = 0;         ///< Undischarged sinks.
+    unsigned discharged = 0;    ///< Sinks proven harmless.
+    std::vector<TaintSink> sinks;
+};
+
+/** Function-level report. */
+struct TaintReport
+{
+    std::vector<RegionTaintResult> regions;
+    unsigned leakSites = 0;
+    unsigned dischargedSites = 0;
+    unsigned transientDefs = 0;
+    unsigned secretDefs = 0;
+
+    TaintReport &
+    operator+=(const TaintReport &o)
+    {
+        regions.insert(regions.end(), o.regions.begin(),
+                       o.regions.end());
+        leakSites += o.leakSites;
+        dischargedSites += o.dischargedSites;
+        transientDefs += o.transientDefs;
+        secretDefs += o.secretDefs;
+        return *this;
+    }
+};
+
+/**
+ * Sweep every speculative region of @p f. @p kb must have been
+ * computed on the current shape of @p f. Roots are the region's
+ * speculative instructions minus any in @p proven_safe (D3 — pass the
+ * lint's ProvenSafe set, or empty to treat every check as live).
+ *
+ * Also writes the per-region tallies back into SpecRegion::leakSites
+ * / leaksDischarged, the metadata the backend threads into MIR for
+ * per-region leak attribution.
+ */
+TaintReport taintFunction(Function &f, const KnownBitsAnalysis &kb,
+                          const std::set<const Instruction *>
+                              &proven_safe = {});
+
+} // namespace bitspec
+
+#endif // BITSPEC_ANALYSIS_TAINT_H_

@@ -256,6 +256,8 @@ putFunction(Writer &w, const MachFunction &mf)
         w.u8(mb.isHandler ? 1 : 0);
         w.i32(mb.regionId);
         w.i32(mb.regionSrcLine);
+        w.i32(mb.regionLeakSites);
+        w.i32(mb.regionLeaksDischarged);
     }
 
     w.u32(static_cast<uint32_t>(mf.blockIndex.size()));
@@ -292,7 +294,7 @@ getFunction(Reader &r)
     mf.baseAddr = r.u32();
     mf.entryIndex = r.u32();
 
-    uint32_t n_blocks = r.count(4 * 4 + 1 + 4);
+    uint32_t n_blocks = r.count(4 * 6 + 1 + 4);
     mf.blocks.reserve(n_blocks);
     for (uint32_t i = 0; i < n_blocks; ++i) {
         MachBlock mb;
@@ -302,6 +304,8 @@ getFunction(Reader &r)
         mb.isHandler = r.u8() != 0;
         mb.regionId = r.i32();
         mb.regionSrcLine = r.i32();
+        mb.regionLeakSites = r.i32();
+        mb.regionLeaksDischarged = r.i32();
         mf.blocks.push_back(std::move(mb));
     }
 
@@ -332,6 +336,8 @@ putSqueezeStats(Writer &w, const SqueezeStats &s)
     w.u32(s.lintProvenSafe);
     w.u32(s.lintProvenUnsafe);
     w.u32(s.lintSpeculative);
+    w.u32(s.lintSpecLeaks);
+    w.u32(s.lintLeaksDischarged);
 }
 
 SqueezeStats
@@ -349,6 +355,8 @@ getSqueezeStats(Reader &r)
     s.lintProvenSafe = r.u32();
     s.lintProvenUnsafe = r.u32();
     s.lintSpeculative = r.u32();
+    s.lintSpecLeaks = r.u32();
+    s.lintLeaksDischarged = r.u32();
     return s;
 }
 

@@ -68,11 +68,15 @@ class ISel
             mf_.blocks[hid].isHandler = true;
             mf_.blocks[hid].regionId = sr->id;
             mf_.blocks[hid].regionSrcLine = sr->srcLine;
+            mf_.blocks[hid].regionLeakSites = sr->leakSites;
+            mf_.blocks[hid].regionLeaksDischarged = sr->leaksDischarged;
             for (BasicBlock *member : sr->blocks) {
                 MachBlock &mb = mf_.blocks[blockId_.at(member)];
                 mb.handlerBlock = hid;
                 mb.regionId = sr->id;
                 mb.regionSrcLine = sr->srcLine;
+                mb.regionLeakSites = sr->leakSites;
+                mb.regionLeaksDischarged = sr->leaksDischarged;
             }
         }
 

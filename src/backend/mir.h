@@ -39,6 +39,12 @@ struct MachBlock
     int regionId = -1;
     /** Source line of the region (SpecRegion::srcLine); 0 unknown. */
     int regionSrcLine = 0;
+    /** Speculative non-interference verdict of the region, carried
+     *  from the final lint (SpecRegion::leakSites/leaksDischarged) so
+     *  misspeculation attribution can report leak sites next to heat:
+     *  undischarged taint sinks and sinks discharged by D1/D2/D5. */
+    int regionLeakSites = 0;
+    int regionLeaksDischarged = 0;
 
     /** Successor block ids from the trailing branch instructions. */
     std::vector<int>

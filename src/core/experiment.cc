@@ -312,6 +312,8 @@ ExperimentRunner::runCell(const ExperimentCell &cell)
     span.arg("workload", cell.workload->name);
     span.arg("squeeze", cell.config.squeeze ? "1" : "0");
     span.arg("run_seed", std::to_string(cell.runSeed));
+    if (cell.policy != MisspecPolicy::Hardware)
+        span.arg("policy", misspecPolicyName(cell.policy));
     std::shared_ptr<CachedSystem> cached =
         getOrBuild(*cell.workload, cell.config, cell.profileSeed);
     const Workload &w = *cell.workload;
@@ -319,6 +321,13 @@ ExperimentRunner::runCell(const ExperimentCell &cell)
     RunResult out;
     {
         std::lock_guard<std::mutex> lock(cached->runMu);
+        // Run-level knobs. The policy is set for every cell (a plain
+        // cell must undo a predecessor's override on the shared
+        // System); the engine sticks, so mixed-engine matrices must
+        // set it on every cell.
+        if (cell.engine)
+            cached->sys.setCoreEngine(*cell.engine);
+        cached->sys.setMisspecPolicy(cell.policy, cell.policySeed);
         out = cached->sys.run(
             [&w, run_seed](Module &m) { w.setInput(m, run_seed); });
     }
@@ -372,11 +381,27 @@ RunResult
 ExperimentRunner::evaluate(const Workload &w, const SystemConfig &config,
                            uint64_t profile_seed, uint64_t run_seed)
 {
-    ExperimentCell cell{&w, config, profile_seed, run_seed};
+    ExperimentCell cell;
+    cell.workload = &w;
+    cell.config = config;
+    cell.profileSeed = profile_seed;
+    cell.runSeed = run_seed;
     RunResult out = runCell(cell);
     std::lock_guard<std::mutex> lock(cacheMu_);
     ++stats_.cells;
     return out;
+}
+
+void
+ExperimentRunner::withSystem(const Workload &w,
+                             const SystemConfig &config,
+                             uint64_t profile_seed,
+                             const std::function<void(System &)> &fn)
+{
+    std::shared_ptr<CachedSystem> cached =
+        getOrBuild(w, config, profile_seed);
+    std::lock_guard<std::mutex> lock(cached->runMu);
+    fn(cached->sys);
 }
 
 ExperimentStats

@@ -26,6 +26,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -46,12 +47,31 @@ class ArtifactStore;
 /** One cell of an experiment matrix. */
 struct ExperimentCell
 {
+    ExperimentCell() = default;
+    ExperimentCell(const Workload *w, SystemConfig cfg,
+                   uint64_t profile_seed = 0, uint64_t run_seed = 0)
+        : workload(w), config(std::move(cfg)),
+          profileSeed(profile_seed), runSeed(run_seed)
+    {}
+
     /** Must outlive the ExperimentRunner::run() call. The workload's
      *  setInput must be a pure function of (module, seed). */
     const Workload *workload = nullptr;
     SystemConfig config;
     uint64_t profileSeed = 0;
     uint64_t runSeed = 0;
+
+    /** @name Run-level knobs
+     * Applied to the cached System for this cell's run only —
+     * deliberately absent from the cache key (one compiled System
+     * serves every engine and policy; the differential fuzzer depends
+     * on that sharing). */
+    /// @{
+    /** Core engine override; unset = the System's default. */
+    std::optional<CoreEngine> engine;
+    MisspecPolicy policy = MisspecPolicy::Hardware;
+    uint64_t policySeed = 0x5eed;
+    /// @}
 };
 
 /** Cache / scheduling counters (bench_smoke records these). */
@@ -75,9 +95,12 @@ struct ExperimentStats
 
 /**
  * Runs experiment matrices over a worker pool with a keyed System
- * cache. Safe to call from one thread at a time; the same runner can
- * execute any number of matrices, and the cache persists across them
- * (clearCache() drops it).
+ * cache. run()/evaluate() may be called from several threads at once
+ * (each call's results are call-local, the cache and stats are
+ * mutex-guarded, and concurrent cells on one System serialize on its
+ * run lock — the fuzz driver fans whole differentials out this way);
+ * the same runner can execute any number of matrices, and the cache
+ * persists across them (clearCache() drops it).
  */
 class ExperimentRunner
 {
@@ -97,6 +120,21 @@ class ExperimentRunner
     /** One-cell convenience; still goes through the System cache. */
     RunResult evaluate(const Workload &w, const SystemConfig &config,
                        uint64_t profile_seed = 0, uint64_t run_seed = 0);
+
+    /**
+     * Build (or fetch) the cell's System and run @p fn on it under
+     * its run lock. Lets a caller reuse the System's squeezed module
+     * directly — the differential fuzzer interprets it IR-level
+     * instead of re-running the whole squeeze pipeline a second
+     * time. @p fn may mutate global data (System::run restores the
+     * snapshot before every machine run) but must not restructure
+     * the module. Beware: a System restored from the disk artifact
+     * tier carries globals only, no IR — check module().getFunction
+     * before interpreting.
+     */
+    void withSystem(const Workload &w, const SystemConfig &config,
+                    uint64_t profile_seed,
+                    const std::function<void(System &)> &fn);
 
     unsigned threadCount() const { return pool_.threadCount(); }
     ExperimentStats stats() const;

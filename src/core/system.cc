@@ -236,6 +236,7 @@ System::run(const std::function<void(Module &)> &run_input,
         core.setAttribution(observers.attribution);
         core.setBlockProfiler(observers.blocks);
         core.setCounterTracks(tracks);
+        core.setMisspecPolicy(misspecPolicy_, misspecSeed_);
         out.returnValue = core.run(args);
         out.outputChecksum = core.outputChecksum();
         out.counters = core.counters();
@@ -254,6 +255,7 @@ System::run(const std::function<void(Module &)> &run_input,
             core.setBlockProfiler(observers.blocks);
         if (tracks)
             core.setCounterTracks(tracks);
+        core.setMisspecPolicy(misspecPolicy_, misspecSeed_);
         out.returnValue = core.run(args);
         out.outputChecksum = core.outputChecksum();
         out.counters = core.counters();

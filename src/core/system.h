@@ -168,6 +168,19 @@ class System
     void setCoreEngine(CoreEngine engine);
     CoreEngine coreEngine() const { return engine_; }
 
+    /** Misspeculation policy applied to the core on every later run
+     *  (see Core::setMisspecPolicy). Each run re-seeds the core's RNG
+     *  with @p seed, so Random runs are independent of run ordering.
+     *  Machine cores only; the training interpreter always trains
+     *  under Hardware semantics. */
+    void
+    setMisspecPolicy(MisspecPolicy p, uint64_t seed = 0x5eed)
+    {
+        misspecPolicy_ = p;
+        misspecSeed_ = seed;
+    }
+    MisspecPolicy misspecPolicy() const { return misspecPolicy_; }
+
     /** The persistent fast engine, or nullptr before the first fast
      *  run (observability/tests: memo counts, replay stats). */
     const FastCore *fastCore() const { return fastCore_.get(); }
@@ -187,6 +200,8 @@ class System
     ExpandStats expandStats_;
     uint64_t trainIrSteps_ = 0;
     CoreEngine engine_ = CoreEngine::Fast;
+    MisspecPolicy misspecPolicy_ = MisspecPolicy::Hardware;
+    uint64_t misspecSeed_ = 0x5eed;
     /** Fast-engine state, built lazily on the first fast run and
      *  reused across runs: the pre-decode table is immutable, and the
      *  FastCore's block memos depend only on it — the compiled

@@ -1,0 +1,209 @@
+#include "fuzz/gen.h"
+
+#include "support/rng.h"
+
+namespace bitspec
+{
+
+namespace
+{
+
+/** Bitwidth-boundary constants: the values whose off-by-one
+ *  neighbours flip a RequiredBits decision at the 8/16-bit slices. */
+constexpr uint64_t kBoundaryPool[] = {
+    0,   1,   2,     127,   128,   129,   254,   255,
+    256, 257, 65534, 65535, 65536, 65537, 0xfffe, 0xffff,
+};
+
+class Generator
+{
+  public:
+    Generator(uint64_t seed, const FuzzGenOptions &opts)
+        : rng_(seed), opts_(opts)
+    {
+    }
+
+    FuzzProgram
+    run(uint64_t seed)
+    {
+        FuzzProgram p;
+        p.seed = seed;
+        vars_ = {"in0", "in1"};
+        assignable_.clear();
+
+        unsigned ndecls =
+            opts_.minDecls +
+            rng_.nextBelow(opts_.maxDecls - opts_.minDecls + 1);
+        for (unsigned i = 0; i < ndecls; ++i) {
+            FuzzDecl d;
+            d.type = type();
+            d.name = "v" + std::to_string(i);
+            d.init = expr(2);
+            vars_.push_back(d.name);
+            assignable_.push_back(d.name);
+            p.decls.push_back(std::move(d));
+        }
+
+        unsigned nstmts =
+            opts_.minStmts +
+            rng_.nextBelow(opts_.maxStmts - opts_.minStmts + 1);
+        for (unsigned i = 0; i < nstmts; ++i)
+            p.stmts.push_back(stmt(opts_.maxDepth));
+
+        p.ret = pick() + " + " + pick();
+        return p;
+    }
+
+  private:
+    std::string
+    pick()
+    {
+        return vars_[rng_.nextBelow(vars_.size())];
+    }
+
+    /** Assignment targets exclude inputs and induction variables
+     *  (writing an induction variable could diverge the loop). */
+    std::string
+    pickAssignable()
+    {
+        if (assignable_.empty())
+            return "in0"; // Unreachable with minDecls >= 1.
+        return assignable_[rng_.nextBelow(assignable_.size())];
+    }
+
+    std::string
+    literal()
+    {
+        // Half the draws sit exactly on a slice boundary; a quarter
+        // land within +-2 of one (the misspeculation knife edge);
+        // the rest are uniform byte-ish values.
+        uint64_t r = rng_.nextBelow(4);
+        if (r < 2) {
+            uint64_t base = kBoundaryPool[rng_.nextBelow(
+                sizeof(kBoundaryPool) / sizeof(kBoundaryPool[0]))];
+            if (r == 1)
+                base += rng_.nextBelow(5) - 2;
+            return std::to_string(base & 0xffffffffULL);
+        }
+        if (r == 2)
+            return std::to_string(rng_.nextBelow(100000));
+        return std::to_string(rng_.nextBelow(256));
+    }
+
+    std::string
+    binop()
+    {
+        const char *ops[] = {"+", "-", "*", "&", "|", "^"};
+        return ops[rng_.nextBelow(6)];
+    }
+
+    std::string
+    relop()
+    {
+        const char *ops[] = {"<", "<=", ">", ">=", "==", "!="};
+        return ops[rng_.nextBelow(6)];
+    }
+
+    std::string
+    type()
+    {
+        const char *types[] = {"u8", "u16", "u32", "u32"};
+        return types[rng_.nextBelow(4)];
+    }
+
+    std::string
+    expr(unsigned depth)
+    {
+        switch (rng_.nextBelow(depth == 0 ? 3 : 6)) {
+          case 0:
+            return pick();
+          case 1:
+            return literal();
+          case 2:
+            return "mem[(" + pick() + ") & 63]";
+          case 3:
+            return "(" + expr(depth - 1) + " " + binop() + " " +
+                   expr(depth - 1) + ")";
+          case 4:
+            return "((" + expr(depth - 1) + ") " +
+                   (rng_.nextBelow(2) ? "<<" : ">>") + " " +
+                   std::to_string(1 + rng_.nextBelow(7)) + ")";
+          default:
+            return "((" + expr(depth - 1) + ") % " +
+                   std::to_string(2 + rng_.nextBelow(254)) + ")";
+        }
+    }
+
+    FuzzStmt
+    stmt(unsigned depth)
+    {
+        FuzzStmt s;
+        switch (rng_.nextBelow(depth == 0 ? 3 : 6)) {
+          case 0:
+            s.kind = FuzzStmt::Kind::Assign;
+            s.target = pickAssignable();
+            s.expr = expr(2);
+            return s;
+          case 1:
+            s.kind = FuzzStmt::Kind::Assign;
+            s.target = pickAssignable();
+            s.expr = "(" + s.target + " + " + expr(1) + ")";
+            return s;
+          case 2:
+            s.kind = FuzzStmt::Kind::MemStore;
+            s.index = expr(1);
+            s.expr = expr(1);
+            return s;
+          case 3:
+            s.kind = FuzzStmt::Kind::If;
+            s.expr = "(" + pick() + " & 255) " + relop() + " " +
+                     literal();
+            s.body.push_back(stmt(depth - 1));
+            s.elseBody.push_back(stmt(depth - 1));
+            return s;
+          case 4: {
+            s.kind = FuzzStmt::Kind::Loop;
+            s.inductionVar = "i" + std::to_string(loops_++);
+            s.trip = 2 + static_cast<unsigned>(
+                             rng_.nextBelow(opts_.maxTrip - 1));
+            vars_.push_back(s.inductionVar);
+            s.body.push_back(stmt(depth - 1));
+            s.body.push_back(stmt(depth - 1));
+            vars_.pop_back(); // Scoped to the loop.
+            return s;
+          }
+          default:
+            s.kind = FuzzStmt::Kind::Output;
+            s.expr = pick();
+            return s;
+        }
+    }
+
+    Rng rng_;
+    FuzzGenOptions opts_;
+    std::vector<std::string> vars_;
+    std::vector<std::string> assignable_;
+    unsigned loops_ = 0;
+};
+
+} // namespace
+
+FuzzProgram
+generateProgram(uint64_t seed, const FuzzGenOptions &opts)
+{
+    return Generator(seed, opts).run(seed);
+}
+
+uint64_t
+fuzzInputValue(uint64_t seed, unsigned n)
+{
+    // Splitmix-style draw per (seed, n), snapped to a boundary value
+    // half the time so held-out run inputs cross training slices.
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + n);
+    if (rng.nextBelow(2) == 0)
+        return kBoundaryPool[rng.nextBelow(
+            sizeof(kBoundaryPool) / sizeof(kBoundaryPool[0]))];
+    return rng.nextBelow(1 << 20);
+}
+
+} // namespace bitspec

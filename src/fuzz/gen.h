@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Seeded random-program generator, biased toward boundary bitwidths.
+ *
+ * The squeezer's interesting failure surface is where a value sits
+ * right at a slice boundary — fits in 8 bits on the training input,
+ * overflows on the measurement input. The generator therefore draws
+ * constants from a pool clustered around 2^8 and 2^16 (255/256/257,
+ * 65535/65536, ...), gives variables the u8/u16/u32 widths the
+ * squeezer targets, and keeps loop trip counts small enough that
+ * generated programs stay in the smoke budget.
+ */
+
+#ifndef BITSPEC_FUZZ_GEN_H_
+#define BITSPEC_FUZZ_GEN_H_
+
+#include "fuzz/program.h"
+
+namespace bitspec
+{
+
+/** Generator knobs (defaults match the fuzz_spec smoke run). */
+struct FuzzGenOptions
+{
+    unsigned minDecls = 3;
+    unsigned maxDecls = 6;
+    unsigned minStmts = 4;
+    unsigned maxStmts = 9;
+    unsigned maxDepth = 2;  ///< Nesting budget for if/loop bodies.
+    unsigned maxTrip = 40;  ///< Loop bound ceiling.
+};
+
+/** Generate the program for @p seed (pure function of its inputs). */
+FuzzProgram generateProgram(uint64_t seed,
+                            const FuzzGenOptions &opts = {});
+
+/** The boundary-biased input value the fuzz Workload writes into
+ *  global `inN` for run seed @p seed (exposed so the differential
+ *  harness and tests agree on inputs). */
+uint64_t fuzzInputValue(uint64_t seed, unsigned n);
+
+} // namespace bitspec
+
+#endif // BITSPEC_FUZZ_GEN_H_

@@ -1,0 +1,164 @@
+#include "fuzz/shrink.h"
+
+namespace bitspec
+{
+
+namespace
+{
+
+using StmtEdit = std::function<bool(std::vector<FuzzStmt> &, size_t)>;
+
+// Assigned as std::string objects (not literals) to sidestep a GCC 12
+// -Wrestrict false positive on literal assignment after vector::erase.
+const std::string kOne = "1";
+const std::string kZero = "0";
+
+/** Apply @p edit to the statement at DFS-preorder position @p target
+ *  (counting across nested bodies). Returns whether an edit was
+ *  applied; @p counter threads the position through the recursion. */
+bool
+editAt(std::vector<FuzzStmt> &stmts, unsigned &counter, unsigned target,
+       const StmtEdit &edit)
+{
+    for (size_t i = 0; i < stmts.size(); ++i) {
+        if (counter++ == target)
+            return edit(stmts, i);
+        if (editAt(stmts[i].body, counter, target, edit))
+            return true;
+        if (editAt(stmts[i].elseBody, counter, target, edit))
+            return true;
+    }
+    return false;
+}
+
+/** Every single-edit simplification of @p p, most aggressive first:
+ *  whole-statement deletions shrink fastest, so they lead; expression
+ *  and declaration simplifications clean up what remains. */
+std::vector<FuzzProgram>
+candidates(const FuzzProgram &p)
+{
+    std::vector<FuzzProgram> out;
+    const unsigned nstmts = p.stmtCount();
+
+    auto stmtEdit = [&](unsigned pos, const StmtEdit &edit) {
+        FuzzProgram c = p;
+        unsigned counter = 0;
+        if (editAt(c.stmts, counter, pos, edit))
+            out.push_back(std::move(c));
+    };
+
+    // Delete each statement outright.
+    for (unsigned pos = 0; pos < nstmts; ++pos)
+        stmtEdit(pos, [](std::vector<FuzzStmt> &v, size_t i) {
+            v.erase(v.begin() + i);
+            return true;
+        });
+
+    // Flatten control flow: an if becomes one of its arms, a loop
+    // its body (loop bodies referencing the induction variable fail
+    // to compile and are rejected by the predicate — no analysis
+    // needed here).
+    for (unsigned pos = 0; pos < nstmts; ++pos) {
+        for (bool else_arm : {false, true})
+            stmtEdit(pos, [else_arm](std::vector<FuzzStmt> &v,
+                                     size_t i) {
+                FuzzStmt &s = v[i];
+                if (s.kind != FuzzStmt::Kind::If &&
+                    s.kind != FuzzStmt::Kind::Loop)
+                    return false;
+                if (else_arm && s.elseBody.empty())
+                    return false;
+                std::vector<FuzzStmt> arm =
+                    else_arm ? std::move(s.elseBody)
+                             : std::move(s.body);
+                v.erase(v.begin() + i);
+                v.insert(v.begin() + i,
+                         std::make_move_iterator(arm.begin()),
+                         std::make_move_iterator(arm.end()));
+                return true;
+            });
+    }
+
+    // Reduce loop trip counts (binary, then to the 2-iteration floor).
+    for (unsigned pos = 0; pos < nstmts; ++pos) {
+        stmtEdit(pos, [](std::vector<FuzzStmt> &v, size_t i) {
+            if (v[i].kind != FuzzStmt::Kind::Loop || v[i].trip <= 3)
+                return false;
+            v[i].trip /= 2;
+            return true;
+        });
+        stmtEdit(pos, [](std::vector<FuzzStmt> &v, size_t i) {
+            if (v[i].kind != FuzzStmt::Kind::Loop || v[i].trip <= 2)
+                return false;
+            v[i].trip = 2;
+            return true;
+        });
+    }
+
+    // Collapse expressions to a constant.
+    for (unsigned pos = 0; pos < nstmts; ++pos) {
+        stmtEdit(pos, [](std::vector<FuzzStmt> &v, size_t i) {
+            if (v[i].expr.empty() || v[i].expr == kOne)
+                return false;
+            v[i].expr = kOne;
+            return true;
+        });
+        stmtEdit(pos, [](std::vector<FuzzStmt> &v, size_t i) {
+            if (v[i].kind != FuzzStmt::Kind::MemStore ||
+                v[i].index == kOne)
+                return false;
+            v[i].index = kOne;
+            return true;
+        });
+    }
+
+    // Drop or simplify declarations (a deleted decl with live uses
+    // fails to compile and is rejected by the predicate).
+    for (size_t d = 0; d < p.decls.size(); ++d) {
+        FuzzProgram c = p;
+        c.decls.erase(c.decls.begin() + d);
+        out.push_back(std::move(c));
+        if (p.decls[d].init != "1") {
+            c = p;
+            c.decls[d].init = kOne;
+            out.push_back(std::move(c));
+        }
+    }
+
+    // Simplify the return expression.
+    if (p.ret != "0") {
+        FuzzProgram c = p;
+        c.ret = kZero;
+        out.push_back(std::move(c));
+    }
+    return out;
+}
+
+} // namespace
+
+FuzzShrinkResult
+shrinkProgram(const FuzzProgram &p,
+              const std::function<bool(const FuzzProgram &)> &stillDiverges,
+              const FuzzShrinkOptions &opts)
+{
+    FuzzShrinkResult r;
+    r.program = p;
+    bool changed = true;
+    while (changed && r.probes < opts.maxProbes) {
+        changed = false;
+        for (FuzzProgram &c : candidates(r.program)) {
+            if (r.probes >= opts.maxProbes)
+                break;
+            ++r.probes;
+            if (stillDiverges(c)) {
+                r.program = std::move(c);
+                ++r.accepted;
+                changed = true;
+                break; // Re-enumerate against the smaller program.
+            }
+        }
+    }
+    return r;
+}
+
+} // namespace bitspec

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Greedy structural shrinker for divergent fuzz programs.
+ *
+ * Given a program and a caller-supplied predicate ("does this still
+ * diverge?"), repeatedly tries simplifying edits — delete a
+ * statement, flatten an if/loop to its body, reduce a trip count,
+ * collapse an expression to a constant, drop a declaration — keeping
+ * an edit only when the predicate still holds, until no single edit
+ * survives (1-minimality over the move set) or the probe budget runs
+ * out.
+ *
+ * The predicate sees a complete FuzzProgram and typically wraps
+ * runFuzzDifferential; edits that break compilation simply make the
+ * predicate return false (the differential reports Skipped), so the
+ * shrinker needs no well-formedness analysis of its own. Probing the
+ * same memoized ExperimentRunner keeps re-probes of previously seen
+ * sources cheap.
+ */
+
+#ifndef BITSPEC_FUZZ_SHRINK_H_
+#define BITSPEC_FUZZ_SHRINK_H_
+
+#include <functional>
+
+#include "fuzz/program.h"
+
+namespace bitspec
+{
+
+struct FuzzShrinkOptions
+{
+    /** Predicate-evaluation budget; the result is still valid (the
+     *  predicate holds for it) when exhausted, just not minimal. */
+    unsigned maxProbes = 400;
+};
+
+struct FuzzShrinkResult
+{
+    FuzzProgram program; ///< Smallest program still satisfying pred.
+    unsigned probes = 0;   ///< Predicate evaluations performed.
+    unsigned accepted = 0; ///< Edits that survived the predicate.
+};
+
+/** Shrink @p p under @p stillDiverges, which must hold for @p p
+ *  itself (the caller has already observed the divergence). */
+FuzzShrinkResult
+shrinkProgram(const FuzzProgram &p,
+              const std::function<bool(const FuzzProgram &)> &stillDiverges,
+              const FuzzShrinkOptions &opts = {});
+
+} // namespace bitspec
+
+#endif // BITSPEC_FUZZ_SHRINK_H_

@@ -32,25 +32,13 @@
 #include <vector>
 
 #include "ir/module.h"
+#include "support/misspec.h"
 #include "support/rng.h"
 
 namespace bitspec
 {
 
 class DecodedFunction;
-
-/** How speculative instructions behave during interpretation. */
-enum class MisspecPolicy
-{
-    /** Table-1 semantics: misspeculate when the value does not fit. */
-    Hardware,
-    /** Misspeculate at the first opportunity in every region entered
-     *  (plus whenever required); exercises Theorem 3.2. */
-    ForceFirst,
-    /** Misspeculate randomly with probability 1/8 (plus whenever
-     *  required); randomised correctness testing. */
-    Random,
-};
 
 /** Which execution engine Interpreter::run uses. */
 enum class ExecEngine

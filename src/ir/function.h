@@ -45,6 +45,21 @@ struct SpecRegion
      *  Threaded into MIR so misspeculation attribution can report
      *  file:line provenance per region. */
     int srcLine = 0;
+    /**
+     * The region's checks: every speculative instruction in `blocks`,
+     * in block instruction order. Emitted by the squeezer at region
+     * creation and kept in sync by applyLintVerdicts (a check whose
+     * speculative flag is dropped leaves the list; a region whose
+     * list empties is deleted). The taint lint's roots and the
+     * observability layer's per-region check counts both read this.
+     */
+    std::vector<const Instruction *> checks;
+    /** Undischarged speculative non-interference sinks found by the
+     *  taint lint (analysis/taint.h); threaded into MIR for
+     *  per-region leak attribution. */
+    int leakSites = 0;
+    /** Tainted sinks the lint discharged with known-bits facts. */
+    int leaksDischarged = 0;
 };
 
 /** An IR function: arguments, blocks and speculative-region metadata. */

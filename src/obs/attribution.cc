@@ -39,6 +39,8 @@ AttributionMap::AttributionMap(const MachProgram &prog)
             site.function = mf.name;
             site.regionId = mb.regionId;
             site.srcLine = mb.regionSrcLine;
+            site.leakSites = mb.regionLeakSites;
+            site.leaksDischarged = mb.regionLeaksDischarged;
             site.entryIndex = prog.indexOf(mf.baseAddr); // Fixed below.
             sites_.push_back(std::move(site));
             size_t idx = sites_.size() - 1;
@@ -170,16 +172,23 @@ formatRegionReport(const std::vector<RegionReportRow> &rows,
                    const std::string &source_file)
 {
     std::string out = strFormat(
-        "%-26s %-18s %10s %9s %8s %9s %9s %11s %11s %11s\n", "region",
-        "site", "entries", "misspecs", "rate", "hnd_inst", "hnd_cyc",
-        "overhead_pJ", "saved_pJ", "net_pJ");
+        "%-26s %-18s %10s %9s %8s %9s %9s %11s %11s %11s %9s\n",
+        "region", "site", "entries", "misspecs", "rate", "hnd_inst",
+        "hnd_cyc", "overhead_pJ", "saved_pJ", "net_pJ", "sni");
     for (const RegionReportRow &r : rows) {
         std::string region = strFormat("%s#%d", r.site.function.c_str(),
                                        r.site.regionId);
         std::string site = strFormat("%s:%d", source_file.c_str(),
                                      r.site.srcLine);
+        // Speculative non-interference verdict: clean, all sinks
+        // discharged, or the number of undischarged leak sites.
+        std::string sni =
+            r.site.leakSites > 0
+                ? strFormat("%d leak%s", r.site.leakSites,
+                            r.site.leakSites == 1 ? "" : "s")
+                : (r.site.leaksDischarged > 0 ? "disch" : "clean");
         out += strFormat("%-26s %-18s %10llu %9llu %8.4f %9llu %9llu "
-                         "%11.1f %11.1f %11.1f\n",
+                         "%11.1f %11.1f %11.1f %9s\n",
                          region.c_str(), site.c_str(),
                          static_cast<unsigned long long>(
                              r.activity.entries),
@@ -190,7 +199,8 @@ formatRegionReport(const std::vector<RegionReportRow> &rows,
                              r.activity.handlerInsts),
                          static_cast<unsigned long long>(
                              r.activity.handlerCycles),
-                         r.overheadPj, r.savedPj, r.netPj);
+                         r.overheadPj, r.savedPj, r.netPj,
+                         sni.c_str());
     }
     return out;
 }

@@ -47,6 +47,11 @@ struct RegionSite
     int regionId = -1;
     int srcLine = 0;         ///< 1-based; 0 when unknown.
     uint32_t entryIndex = 0; ///< Flat index of the region's first inst.
+    /** Speculative non-interference verdict of the region's final
+     *  lint (analysis/taint.h): undischarged leak sinks and sinks
+     *  discharged by D1/D2/D5. Static facts, not run tallies. */
+    int leakSites = 0;
+    int leaksDischarged = 0;
 };
 
 /** Flat-index role classification. */

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Misspeculation policy, shared by every execution engine.
+ *
+ * Lives in support/ (not interp/) because the uarch cores consume it
+ * too and uarch does not link against the interpreter. Theorem 3.1/3.2
+ * make misspeculation semantics-preserving, so *any* policy must
+ * produce the committed outputs of the Hardware policy — the property
+ * the differential fuzzer (src/fuzz/) exercises across engines.
+ */
+
+#ifndef BITSPEC_SUPPORT_MISSPEC_H_
+#define BITSPEC_SUPPORT_MISSPEC_H_
+
+namespace bitspec
+{
+
+/** How speculative instructions behave during execution. */
+enum class MisspecPolicy
+{
+    /** Table-1 semantics: misspeculate when the value does not fit. */
+    Hardware,
+    /** Misspeculate at the first opportunity in every region entered
+     *  (plus whenever required); exercises Theorem 3.2. In the machine
+     *  cores this forces *every* check — equivalent, since a redirect
+     *  leaves CFG_spec for good within an invocation. */
+    ForceFirst,
+    /** Misspeculate randomly with probability 1/8 (plus whenever
+     *  required); randomised correctness testing. */
+    Random,
+};
+
+inline const char *
+misspecPolicyName(MisspecPolicy p)
+{
+    switch (p) {
+      case MisspecPolicy::Hardware: return "hardware";
+      case MisspecPolicy::ForceFirst: return "force-first";
+      case MisspecPolicy::Random: return "random";
+    }
+    return "?";
+}
+
+} // namespace bitspec
+
+#endif // BITSPEC_SUPPORT_MISSPEC_H_

@@ -405,9 +405,14 @@ class SqueezerImpl
 
         if (elided_.count(w)) {
             // `and x, 0xff` -> exact truncate of x (a slice move in
-            // the backend); never misspeculates.
-            Value *x = w->operand(0)->isConstant() ? w->operand(1)
-                                                   : w->operand(0);
+            // the backend); never misspeculates. x is the non-mask
+            // operand: selecting on constant-ness alone picks the
+            // mask itself when x is a constant too (`and 1, 0xff`
+            // must truncate 1, not 0xff — found by fuzz_spec).
+            Value *x = w->operand(0);
+            if (x->isConstant() &&
+                static_cast<Constant *>(x)->value() == lowMask(kSlice))
+                x = w->operand(1);
             Value *w8;
             if (x->type().bits == kSlice) {
                 w8 = x;
@@ -756,6 +761,11 @@ class SqueezerImpl
             // when lint later elides siblings) plus the source line of
             // the first speculative instruction in the block.
             sr->id = static_cast<int>(f_.specRegions().size()) - 1;
+            // Taint-relevant metadata: the region's checks, in block
+            // order (analysis/taint.h roots; attribution counts).
+            for (const auto &inst : bb->insts())
+                if (inst->isSpeculative())
+                    sr->checks.push_back(inst.get());
             for (const auto &inst : bb->insts()) {
                 if (inst->isSpeculative() && inst->srcLine() > 0) {
                     sr->srcLine = inst->srcLine();
@@ -851,6 +861,8 @@ class SqueezerImpl
             stats_.lintProvenSafe += report.provenSafe;
             stats_.lintProvenUnsafe += report.provenUnsafe;
             stats_.lintSpeculative += report.speculative;
+            stats_.lintSpecLeaks += report.specLeaks;
+            stats_.lintLeaksDischarged += report.leaksDischarged;
             LintElisionStats elided = applyLintVerdicts(f_, report);
             stats_.checksDropped += elided.checksDropped;
             stats_.regionsElided += elided.regionsRemoved;

@@ -70,6 +70,12 @@ struct SqueezeStats
     unsigned lintProvenSafe = 0;
     unsigned lintProvenUnsafe = 0;
     unsigned lintSpeculative = 0;
+    /** Undischarged speculative non-interference sinks (SpecLeak
+     *  findings — see analysis/taint.h); zero on every shipped
+     *  workload. */
+    unsigned lintSpecLeaks = 0;
+    /** Tainted sinks discharged with known-bits facts (D1/D2). */
+    unsigned lintLeaksDischarged = 0;
 
     SqueezeStats &
     operator+=(const SqueezeStats &o)
@@ -85,6 +91,8 @@ struct SqueezeStats
         lintProvenSafe += o.lintProvenSafe;
         lintProvenUnsafe += o.lintProvenUnsafe;
         lintSpeculative += o.lintSpeculative;
+        lintSpecLeaks += o.lintSpecLeaks;
+        lintLeaksDischarged += o.lintLeaksDischarged;
         return *this;
     }
 };

@@ -383,7 +383,7 @@ Core::run(const std::vector<uint32_t> &args)
             uint32_t stall = mem_.data(addr, false);
             unsigned bytes = inst.origBits == 16 ? 2 : 4;
             uint32_t v = loadData(addr, bytes);
-            if (v > 0xff) {
+            if (v > 0xff || shouldForce()) {
                 cycle += stall;
                 misspeculate();
                 break;
@@ -412,13 +412,13 @@ Core::run(const std::vector<uint32_t> &args)
             uint32_t b = readOpnd(inst.b) & 0xff;
             if (inst.op == MOp::ADD8) {
                 uint32_t full = a + b;
-                if (inst.speculative && full > 0xff) {
+                if (inst.speculative && (full > 0xff || shouldForce())) {
                     misspeculate();
                     break;
                 }
                 writeOpnd(inst.dst, full & 0xff);
             } else {
-                if (inst.speculative && a < b) {
+                if (inst.speculative && (a < b || shouldForce())) {
                     misspeculate();
                     break;
                 }
@@ -453,7 +453,7 @@ Core::run(const std::vector<uint32_t> &args)
           case MOp::TRN8: {
             ++counters_.alu8;
             uint32_t v = readOpnd(inst.a);
-            if (inst.speculative && v > 0xff) {
+            if (inst.speculative && (v > 0xff || shouldForce())) {
                 misspeculate();
                 break;
             }

@@ -21,6 +21,8 @@
 
 #include "backend/mir.h"
 #include "ir/module.h"
+#include "support/misspec.h"
+#include "support/rng.h"
 #include "uarch/cache.h"
 #include "uarch/counters.h"
 
@@ -81,7 +83,36 @@ class Core
         tracks_ = tracks;
     }
 
+    /** Select how the four speculative check sites (LDRS8/ADD8/SUB8/
+     *  TRN8) behave on subsequent runs. ForceFirst redirects at every
+     *  check; Random redirects with probability 1/8 (seeded, so runs
+     *  are reproducible). Either way a check that Hardware semantics
+     *  require to fire still fires — Theorems 3.1/3.2 make the
+     *  committed outputs policy-independent, which the differential
+     *  fuzzer exercises. */
+    void
+    setMisspecPolicy(MisspecPolicy p, uint64_t seed = 0x5eed)
+    {
+        policy_ = p;
+        rng_ = Rng(seed);
+    }
+    MisspecPolicy misspecPolicy() const { return policy_; }
+
   private:
+    /** Policy overlay for one check site: true forces a redirect even
+     *  though the value fits. Keep call sites short-circuited after
+     *  the architectural condition so Random consumes one RNG draw
+     *  per non-firing check — FastCore::slowStep mirrors the same
+     *  order, keeping the two streams aligned for counter equality. */
+    bool
+    shouldForce()
+    {
+        if (policy_ == MisspecPolicy::ForceFirst)
+            return true;
+        if (policy_ == MisspecPolicy::Random)
+            return rng_.next() % 8 == 0;
+        return false;
+    }
     struct Flags
     {
         bool n = false, z = false, c = false, v = false;
@@ -110,6 +141,8 @@ class Core
     AttributionSink *attr_ = nullptr;
     BlockProfilerSink *prof_ = nullptr;
     CounterTrackEmitter *tracks_ = nullptr;
+    MisspecPolicy policy_ = MisspecPolicy::Hardware;
+    Rng rng_{0x5eed};
 
     /** Scoreboard: cycle when each register's value is ready. */
     uint64_t readyAt_[16] = {};

@@ -1389,7 +1389,7 @@ FastCore::slowStep(uint32_t idx)
         uint32_t addr = readSrc(p.a, regs) + readSrc(p.b, regs);
         uint32_t stall = mem_.data(addr, false);
         uint32_t v = loadData(addr, p.aux);
-        if (v > 0xff) {
+        if (v > 0xff || shouldForce()) {
             cycle_ += stall;
             misspeculate();
             break;
@@ -1409,7 +1409,7 @@ FastCore::slowStep(uint32_t idx)
         uint32_t a = readSrc(p.a, regs) & 0xff;
         uint32_t b = readSrc(p.b, regs) & 0xff;
         uint32_t full = a + b;
-        if (p.aux && full > 0xff) {
+        if (p.aux && (full > 0xff || shouldForce())) {
             misspeculate();
             break;
         }
@@ -1420,7 +1420,7 @@ FastCore::slowStep(uint32_t idx)
       case PKind::Sub8: {
         uint32_t a = readSrc(p.a, regs) & 0xff;
         uint32_t b = readSrc(p.b, regs) & 0xff;
-        if (p.aux && a < b) {
+        if (p.aux && (a < b || shouldForce())) {
             misspeculate();
             break;
         }
@@ -1445,7 +1445,7 @@ FastCore::slowStep(uint32_t idx)
         break;
       case PKind::Trn8: {
         uint32_t v = readSrc(p.a, regs);
-        if (p.aux && v > 0xff) {
+        if (p.aux && (v > 0xff || shouldForce())) {
             misspeculate();
             break;
         }
@@ -1547,7 +1547,10 @@ FastCore::run(const std::vector<uint32_t> &args)
         // A counter-track emitter samples at per-retire granularity;
         // bulk replay would shift its window boundaries, so tracing
         // runs stay on the cycle-accurate path (tracks_ test below).
+        // Non-Hardware misspec policies likewise bypass replay: a
+        // memo bakes in that no check in the body fired.
         if (m.eligible && !tracks_ &&
+            policy_ == MisspecPolicy::Hardware &&
             executed_ + m.fuelCost <= fuel_ && entryReady(m) &&
             fetchGuard(m)) {
             idx = replay(m);

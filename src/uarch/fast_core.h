@@ -94,6 +94,19 @@ class FastCore
         tracks_ = tracks;
     }
 
+    /** Same semantics as Core::setMisspecPolicy. A non-Hardware
+     *  policy disables memo replay (memos bake in check-didn't-fire
+     *  straight-line execution); the slow path evaluates shouldForce
+     *  in the same operand order as Core, so legacy-vs-fast counter
+     *  equality holds under every policy. */
+    void
+    setMisspecPolicy(MisspecPolicy p, uint64_t seed = 0x5eed)
+    {
+        policy_ = p;
+        rng_ = Rng(seed);
+    }
+    MisspecPolicy misspecPolicy() const { return policy_; }
+
     /** Drop every block memo (they are rebuilt lazily). Correctness
      *  never requires this — memos depend only on the immutable
      *  pre-decoded code — but a System that re-squeezes and relinks
@@ -241,6 +254,20 @@ class FastCore
     AttributionSink *attr_ = nullptr;
     BlockProfilerSink *prof_ = nullptr;
     CounterTrackEmitter *tracks_ = nullptr;
+    MisspecPolicy policy_ = MisspecPolicy::Hardware;
+    Rng rng_{0x5eed};
+
+    /** Policy overlay for one check site; mirrors Core::shouldForce
+     *  (same draw order keeps the Random streams aligned). */
+    bool
+    shouldForce()
+    {
+        if (policy_ == MisspecPolicy::ForceFirst)
+            return true;
+        if (policy_ == MisspecPolicy::Random)
+            return rng_.next() % 8 == 0;
+        return false;
+    }
 
     /** Scoreboard: cycle when each register's value is ready; slot
      *  kScratchReg is the write-only dump for branchless replay

@@ -32,6 +32,18 @@ struct Snapshot
     unsigned speculative;
     unsigned checksDropped;
     unsigned regionsElided;
+    /** Undischarged speculative non-interference sinks. The suite is
+     *  clean except rijndael's one genuine two-access gadget: the
+     *  MixColumns xtime lookup `xt[a0 ^ a1]` where a0/a1 are loaded
+     *  at a transiently-wrapped `st[b]` address (b = c*4; known-bits
+     *  cannot bound the widened loop counter c, so neither D3 nor the
+     *  D4 in-array downgrade applies). A true positive, kept as the
+     *  suite's built-in demonstration that the lint finds the classic
+     *  AES table-lookup gadget shape. */
+    unsigned specLeaks;
+    /** Sinks discharged by D1/D2/D5 (blowfish: the `blocks[blk*2+1]`
+     *  store at a transient address — D5 store-queue squash). */
+    unsigned leaksDischarged;
 };
 
 /** Baked verdict counts per workload (squeeze defaults, seed 0). */
@@ -39,21 +51,21 @@ const std::map<std::string, Snapshot> &
 expectedSnapshots()
 {
     static const std::map<std::string, Snapshot> table = {
-        // name              safe unsafe spec dropped elided
-        {"CRC32",            {8, 0, 2, 8, 7}},
-        {"FFT",              {11, 0, 16, 11, 6}},
-        {"basicmath",        {9, 0, 10, 9, 1}},
-        {"bitcount",         {30, 0, 27, 30, 30}},
-        {"blowfish",         {5, 0, 4, 5, 3}},
-        {"dijkstra",         {24, 0, 22, 24, 24}},
-        {"patricia",         {0, 0, 14, 0, 0}},
-        {"qsort",            {6, 0, 50, 6, 6}},
-        {"rijndael",         {78, 0, 43, 78, 68}},
-        {"sha",              {7, 0, 19, 7, 6}},
-        {"stringsearch",     {20, 0, 42, 20, 19}},
-        {"susan-edges",      {5, 0, 37, 5, 4}},
-        {"susan-corners",    {8, 0, 47, 8, 7}},
-        {"susan-smoothing",  {5, 0, 32, 5, 3}},
+        // name              safe unsafe spec dropped elided leak disch
+        {"CRC32",            {8, 0, 2, 8, 7, 0, 0}},
+        {"FFT",              {11, 0, 16, 11, 6, 0, 0}},
+        {"basicmath",        {9, 0, 10, 9, 1, 0, 0}},
+        {"bitcount",         {30, 0, 27, 30, 30, 0, 0}},
+        {"blowfish",         {5, 0, 4, 5, 3, 0, 1}},
+        {"dijkstra",         {24, 0, 22, 24, 24, 0, 0}},
+        {"patricia",         {0, 0, 14, 0, 0, 0, 0}},
+        {"qsort",            {6, 0, 50, 6, 6, 0, 0}},
+        {"rijndael",         {78, 0, 43, 78, 68, 1, 0}},
+        {"sha",              {7, 0, 19, 7, 6, 0, 0}},
+        {"stringsearch",     {20, 0, 42, 20, 19, 0, 0}},
+        {"susan-edges",      {5, 0, 37, 5, 4, 0, 0}},
+        {"susan-corners",    {8, 0, 47, 8, 7, 0, 0}},
+        {"susan-smoothing",  {5, 0, 32, 5, 3, 0, 0}},
     };
     return table;
 }
@@ -76,17 +88,19 @@ TEST_P(LintSelfCheck, VerdictCountsMatchSnapshot)
     EXPECT_LE(st.checksDropped, st.lintProvenSafe);
 
     // Re-linting the squeezed module must account for every remaining
-    // speculative site: one finding per site, tallies consistent.
+    // speculative site: one check finding per site plus one finding
+    // per undischarged taint sink, tallies consistent.
     LintReport post = lintModule(*mod);
     EXPECT_EQ(post.findings.size(), post.provenSafe +
                                         post.provenUnsafe +
-                                        post.speculative);
+                                        post.speculative +
+                                        post.specLeaks);
     unsigned spec_sites = 0;
     for (const auto &f : mod->functions())
         for (const auto &bb : f->blocks())
             for (const auto &inst : bb->insts())
                 spec_sites += inst->isSpeculative() ? 1 : 0;
-    EXPECT_EQ(post.findings.size(), spec_sites);
+    EXPECT_EQ(post.findings.size() - post.specLeaks, spec_sites);
 
     auto it = expectedSnapshots().find(GetParam());
     ASSERT_NE(it, expectedSnapshots().end())
@@ -100,6 +114,14 @@ TEST_P(LintSelfCheck, VerdictCountsMatchSnapshot)
     EXPECT_EQ(st.lintSpeculative, want.speculative);
     EXPECT_EQ(st.checksDropped, want.checksDropped);
     EXPECT_EQ(st.regionsElided, want.regionsElided);
+    EXPECT_EQ(st.lintSpecLeaks, want.specLeaks)
+        << GetParam() << " pre-elision leaks";
+    EXPECT_EQ(st.lintLeaksDischarged, want.leaksDischarged)
+        << GetParam() << " pre-elision discharges";
+    EXPECT_EQ(post.specLeaks, want.specLeaks)
+        << GetParam() << " post-elision leaks";
+    EXPECT_EQ(post.leaksDischarged, want.leaksDischarged)
+        << GetParam() << " post-elision discharges";
 }
 
 std::vector<std::string>

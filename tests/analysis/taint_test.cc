@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../testutil.h"
+#include "analysis/known_bits.h"
+#include "analysis/taint.h"
+#include "analysis/verifier.h"
+
+namespace bitspec
+{
+namespace
+{
+
+constexpr Taint C = Taint::Clean;
+constexpr Taint T = Taint::Transient;
+constexpr Taint S = Taint::Secret;
+
+// ---------------------------------------------------------------------
+// Golden per-opcode transfer tests (no IR), mirroring the kb* golden
+// tests in known_bits_test.cc.
+// ---------------------------------------------------------------------
+
+TEST(Taint, JoinIsMax)
+{
+    EXPECT_EQ(taintJoin(C, C), C);
+    EXPECT_EQ(taintJoin(C, T), T);
+    EXPECT_EQ(taintJoin(T, C), T);
+    EXPECT_EQ(taintJoin(T, S), S);
+    EXPECT_EQ(taintJoin(S, T), S);
+    EXPECT_EQ(taintJoin(S, S), S);
+
+    EXPECT_STREQ(taintName(C), "clean");
+    EXPECT_STREQ(taintName(T), "transient");
+    EXPECT_STREQ(taintName(S), "secret");
+}
+
+TEST(Taint, ArithmeticJoinsOperands)
+{
+    // Pure dataflow ops propagate the join of their operand taints:
+    // arithmetic on a wrapped value is still a pure function of
+    // committed state.
+    EXPECT_EQ(taintTransfer(Opcode::Add, {C, C}), C);
+    EXPECT_EQ(taintTransfer(Opcode::Add, {C, T}), T);
+    EXPECT_EQ(taintTransfer(Opcode::Xor, {T, S}), S);
+    EXPECT_EQ(taintTransfer(Opcode::Mul, {S, C}), S);
+    EXPECT_EQ(taintTransfer(Opcode::Shl, {T, T}), T);
+    EXPECT_EQ(taintTransfer(Opcode::Trunc, {T}), T);
+    EXPECT_EQ(taintTransfer(Opcode::ZExt, {S}), S);
+    EXPECT_EQ(taintTransfer(Opcode::ICmp, {C, T}), T);
+    EXPECT_EQ(taintTransfer(Opcode::Select, {C, T, S}), S);
+    EXPECT_EQ(taintTransfer(Opcode::Phi, {T, C}), T);
+}
+
+TEST(Taint, LoadRaisesAnyTaintedAddressToSecret)
+{
+    // Load is the only taint-*raising* op: memory read at an address
+    // the committed path never computes yields contents it never
+    // reads. (The D4 in-array downgrade is the caller's job; the
+    // pure transfer is maximally cautious.)
+    EXPECT_EQ(taintTransfer(Opcode::Load, {C}), C);
+    EXPECT_EQ(taintTransfer(Opcode::Load, {T}), S);
+    EXPECT_EQ(taintTransfer(Opcode::Load, {S}), S);
+    EXPECT_EQ(taintTransfer(Opcode::Load, {}), C);
+}
+
+TEST(Taint, EffectsAndTerminatorsProduceNoTaint)
+{
+    // Void-result ops define nothing; the sink reasoning for their
+    // operands lives in taintFunction, not the transfer.
+    EXPECT_EQ(taintTransfer(Opcode::Store, {S, S}), C);
+    EXPECT_EQ(taintTransfer(Opcode::Output, {S}), C);
+    EXPECT_EQ(taintTransfer(Opcode::Br, {}), C);
+    EXPECT_EQ(taintTransfer(Opcode::CondBr, {T}), C);
+    EXPECT_EQ(taintTransfer(Opcode::Ret, {S}), C);
+    EXPECT_EQ(taintTransfer(Opcode::Unreachable, {}), C);
+}
+
+// ---------------------------------------------------------------------
+// Function-level sweeps on a hand-built speculative region.
+// ---------------------------------------------------------------------
+
+/**
+ * Deliberately-leaking speculative function (the two-access gadget):
+ *
+ *   entry: br spec
+ *   spec:  t    = trunc!spec a         -> root, Transient
+ *          ta   = zext t               -> Transient address
+ *          sec  = load i8 [ta]         -> no global in range: Secret
+ *          sa   = zext sec             -> Secret address
+ *          leak = load i8 [sa]         -> SecretLoad, undischarged
+ *          st0  = store [sa], 1        -> StoreAddr/Secret, undischarged
+ *          out  sa                     -> TaintedOut, undischarged
+ *          d1   = store [ta & 0], 1    -> constant addr, D1 discharged
+ *          d5   = store [ta], 1        -> Transient addr, D5 discharged
+ *          d2   = load i8 [sa & 0x3f]  -> one cache line, D2 discharged
+ *          br exit
+ *   hand:  br exit
+ *   exit:  ret 0
+ */
+struct LeakFixture
+{
+    Module m;
+    Function *f;
+    Instruction *t, *sec, *leak, *st0, *outp, *d1, *d5, *d2;
+
+    LeakFixture()
+    {
+        f = m.addFunction("g", Type::i32(), {Type::i32()});
+        IRBuilder b(&m);
+        BasicBlock *entry = f->addBlock("entry");
+        BasicBlock *spec = f->addBlock("spec");
+        BasicBlock *hand = f->addBlock("hand");
+        BasicBlock *exit = f->addBlock("exit");
+
+        b.setInsertPoint(entry);
+        b.br(spec);
+
+        b.setInsertPoint(spec);
+        t = b.trunc(f->arg(0), Type::i8());
+        t->setSpeculative(true);
+        t->setSpecOrigBits(32);
+        Instruction *ta = b.zext(t, Type::i32());
+        sec = b.load(Type::i8(), ta);
+        Instruction *sa = b.zext(sec, Type::i32());
+        b.setCurLine(7);
+        leak = b.load(Type::i8(), sa);
+        b.setCurLine(0);
+        st0 = b.store(sa, b.constInt(Type::i8(), 1));
+        outp = b.output(sa);
+        d1 = b.store(b.band(ta, b.constI32(0)),
+                     b.constInt(Type::i8(), 1));
+        d5 = b.store(ta, b.constInt(Type::i8(), 1));
+        d2 = b.load(Type::i8(), b.band(sa, b.constI32(0x3f)));
+        b.br(exit);
+
+        b.setInsertPoint(hand);
+        b.br(exit);
+
+        b.setInsertPoint(exit);
+        b.ret(b.constI32(0));
+
+        SpecRegion *sr = f->addSpecRegion();
+        sr->id = 0;
+        sr->blocks.push_back(spec);
+        sr->handler = hand;
+    }
+};
+
+const TaintSink *
+sinkFor(const RegionTaintResult &r, const Instruction *inst)
+{
+    for (const TaintSink &s : r.sinks)
+        if (s.inst == inst)
+            return &s;
+    ADD_FAILURE() << "no sink for instruction";
+    return nullptr;
+}
+
+TEST(TaintFunction, FlagsTheTwoAccessGadget)
+{
+    LeakFixture fx;
+    ASSERT_TRUE(verifyFunction(*fx.f).empty());
+
+    KnownBitsAnalysis kb(*fx.f);
+    TaintReport rep = taintFunction(*fx.f, kb);
+    ASSERT_EQ(rep.regions.size(), 1u);
+    const RegionTaintResult &r = rep.regions[0];
+    EXPECT_EQ(r.regionId, 0);
+
+    // Three genuine leaks, three discharged sinks.
+    EXPECT_EQ(rep.leakSites, 3u);
+    EXPECT_EQ(rep.dischargedSites, 3u);
+    EXPECT_EQ(r.leaks, 3u);
+    EXPECT_EQ(r.discharged, 3u);
+    ASSERT_EQ(r.sinks.size(), 6u);
+
+    const TaintSink *s = sinkFor(r, fx.leak);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->kind, TaintSinkKind::SecretLoad);
+    EXPECT_EQ(s->taint, Taint::Secret);
+    EXPECT_FALSE(s->discharged);
+    EXPECT_EQ(s->srcLine, 7);
+
+    s = sinkFor(r, fx.st0);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->kind, TaintSinkKind::StoreAddr);
+    EXPECT_EQ(s->taint, Taint::Secret);
+    EXPECT_FALSE(s->discharged);
+
+    s = sinkFor(r, fx.outp);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->kind, TaintSinkKind::TaintedOut);
+    EXPECT_FALSE(s->discharged);
+
+    // D1: the masked-to-zero store address is provably constant.
+    s = sinkFor(r, fx.d1);
+    ASSERT_NE(s, nullptr);
+    EXPECT_TRUE(s->discharged);
+    EXPECT_NE(s->why.find("D1"), std::string::npos);
+
+    // D5: the transient-address store squashes in the store queue.
+    s = sinkFor(r, fx.d5);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->taint, Taint::Transient);
+    EXPECT_TRUE(s->discharged);
+    EXPECT_NE(s->why.find("D5"), std::string::npos);
+
+    // D2: the masked secret load stays inside one cache line.
+    s = sinkFor(r, fx.d2);
+    ASSERT_NE(s, nullptr);
+    EXPECT_TRUE(s->discharged);
+    EXPECT_NE(s->why.find("D2"), std::string::npos);
+
+    // Sinks are numbered in block instruction order.
+    for (size_t i = 0; i < r.sinks.size(); ++i)
+        EXPECT_EQ(r.sinks[i].siteIndex, static_cast<int>(i));
+
+    // With no global covering the wrapped range, the first-order
+    // load's result is Secret, not declassified (D4 inapplicable).
+    EXPECT_GE(rep.secretDefs, 2u); // sec and sa at least.
+    EXPECT_GE(rep.transientDefs, 2u); // t and ta at least.
+
+    // The tallies are written back into the region metadata that the
+    // backend threads into MIR.
+    EXPECT_EQ(fx.f->specRegions()[0]->leakSites, 3);
+    EXPECT_EQ(fx.f->specRegions()[0]->leaksDischarged, 3);
+}
+
+TEST(TaintFunction, ProvenSafeRootSeedsNoTaint)
+{
+    // D3: a speculative site the lint proved can never fire has no
+    // misspeculating path — with the root suppressed the whole region
+    // sweeps clean.
+    LeakFixture fx;
+    KnownBitsAnalysis kb(*fx.f);
+    TaintReport rep = taintFunction(*fx.f, kb, {fx.t});
+    EXPECT_EQ(rep.leakSites, 0u);
+    EXPECT_EQ(rep.dischargedSites, 0u);
+    EXPECT_EQ(rep.transientDefs, 0u);
+    EXPECT_EQ(rep.secretDefs, 0u);
+    ASSERT_EQ(rep.regions.size(), 1u);
+    EXPECT_TRUE(rep.regions[0].sinks.empty());
+}
+
+TEST(TaintFunction, InArrayTransientReadIsDeclassified)
+{
+    // D4: when a global provably covers the wrapped address range the
+    // first-order load is the paper's own mechanism — its result is
+    // downgraded to Transient and the second access at it is only a
+    // transient-address load, not a SecretLoad sink.
+    Module m;
+    Global *tab = m.addGlobal("tab", 8, 256);
+    Global *tab2 = m.addGlobal("tab2", 8, 256);
+    m.layoutGlobals();
+
+    Function *f = m.addFunction("h", Type::i32(), {Type::i32()});
+    IRBuilder b(&m);
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *spec = f->addBlock("spec");
+    BasicBlock *hand = f->addBlock("hand");
+    BasicBlock *exit = f->addBlock("exit");
+
+    b.setInsertPoint(entry);
+    b.br(spec);
+
+    b.setInsertPoint(spec);
+    Instruction *t = b.trunc(f->arg(0), Type::i8());
+    t->setSpeculative(true);
+    t->setSpecOrigBits(32);
+    // tab[t]: address range [base, base+255] stays inside tab.
+    Instruction *ta =
+        b.add(b.zext(t, Type::i32()),
+              b.constI32(tab->address()));
+    Instruction *ld = b.load(Type::i8(), ta);
+    // tab2[tab[t]]: transient-address second access, accepted.
+    Instruction *sa =
+        b.add(b.zext(ld, Type::i32()),
+              b.constI32(tab2->address()));
+    Instruction *ld2 = b.load(Type::i8(), sa);
+    b.output(b.zext(ld2, Type::i32())); // Transient out: still a sink.
+    b.br(exit);
+
+    b.setInsertPoint(hand);
+    b.br(exit);
+
+    b.setInsertPoint(exit);
+    b.ret(b.constI32(0));
+
+    SpecRegion *sr = f->addSpecRegion();
+    sr->id = 0;
+    sr->blocks.push_back(spec);
+    sr->handler = hand;
+
+    ASSERT_TRUE(verifyFunction(*f).empty());
+    KnownBitsAnalysis kb(*f);
+    TaintReport rep = taintFunction(*f, kb);
+
+    // No SecretLoad anywhere: both loads carry Transient addresses.
+    EXPECT_EQ(rep.secretDefs, 0u);
+    EXPECT_GT(rep.transientDefs, 0u);
+    ASSERT_EQ(rep.regions.size(), 1u);
+    for (const TaintSink &s : rep.regions[0].sinks)
+        EXPECT_NE(s.kind, TaintSinkKind::SecretLoad);
+
+    // The transient output is the one (defence-in-depth) leak.
+    EXPECT_EQ(rep.leakSites, 1u);
+    ASSERT_EQ(rep.regions[0].sinks.size(), 1u);
+    EXPECT_EQ(rep.regions[0].sinks[0].kind, TaintSinkKind::TaintedOut);
+    EXPECT_EQ(rep.regions[0].sinks[0].taint, Taint::Transient);
+}
+
+TEST(TaintFunction, CleanRegionReportsNothing)
+{
+    // A speculative region whose transient values feed only
+    // arithmetic (no memory, no output) is leak-free by construction.
+    Module m;
+    Function *f = m.addFunction("k", Type::i32(), {Type::i32()});
+    IRBuilder b(&m);
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *spec = f->addBlock("spec");
+    BasicBlock *hand = f->addBlock("hand");
+    BasicBlock *exit = f->addBlock("exit");
+
+    b.setInsertPoint(entry);
+    b.br(spec);
+
+    b.setInsertPoint(spec);
+    Instruction *t = b.trunc(f->arg(0), Type::i8());
+    t->setSpeculative(true);
+    t->setSpecOrigBits(32);
+    b.mul(b.zext(t, Type::i32()), b.constI32(5));
+    b.br(exit);
+
+    b.setInsertPoint(hand);
+    b.br(exit);
+
+    b.setInsertPoint(exit);
+    b.ret(b.constI32(0));
+
+    SpecRegion *sr = f->addSpecRegion();
+    sr->id = 3;
+    sr->blocks.push_back(spec);
+    sr->handler = hand;
+
+    ASSERT_TRUE(verifyFunction(*f).empty());
+    KnownBitsAnalysis kb(*f);
+    TaintReport rep = taintFunction(*f, kb);
+    EXPECT_EQ(rep.leakSites, 0u);
+    EXPECT_EQ(rep.dischargedSites, 0u);
+    EXPECT_EQ(rep.transientDefs, 3u); // t, its zext, the mul.
+    EXPECT_EQ(rep.secretDefs, 0u);
+    ASSERT_EQ(rep.regions.size(), 1u);
+    EXPECT_EQ(rep.regions[0].regionId, 3);
+    EXPECT_TRUE(rep.regions[0].sinks.empty());
+    EXPECT_EQ(f->specRegions()[0]->leakSites, 0);
+}
+
+} // namespace
+} // namespace bitspec

@@ -172,10 +172,19 @@ TEST(Attribution, ReportRowsMatchSinkAndFormat)
     }
     EXPECT_EQ(misspecs, r.counters.misspeculations);
 
+    // sha is lint-clean (see lint_selfcheck_test.cc), so every site
+    // must carry a zero-leak verdict and the table renders "clean".
+    for (const RegionReportRow &row : rows) {
+        EXPECT_EQ(row.site.leakSites, 0);
+        EXPECT_EQ(row.site.leaksDischarged, 0);
+    }
+
     std::string table = formatRegionReport(rows, "sha.c");
     EXPECT_NE(table.find("region"), std::string::npos);
     EXPECT_NE(table.find("sha.c:"), std::string::npos);
     EXPECT_NE(table.find("net_pJ"), std::string::npos);
+    EXPECT_NE(table.find("sni"), std::string::npos);
+    EXPECT_NE(table.find("clean"), std::string::npos);
 }
 
 } // namespace

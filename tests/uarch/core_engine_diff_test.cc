@@ -192,6 +192,62 @@ TEST_P(CoreEngineDiff, NoSpeculationConfigMatches)
                     w.name + "/nospec");
 }
 
+/**
+ * The same legacy-vs-fast equivalence under the non-Hardware
+ * misspeculation policies (forced and seeded-random redirects). The
+ * fast engine bypasses memo replay under these policies, so its
+ * slow path must keep the RNG draw order aligned with legacy Core —
+ * any drift shows up as a counter or attribution diff here. Theorems
+ * 3.1/3.2 additionally make every policy's committed outputs equal
+ * to Hardware's, which pins the checksum across all six runs.
+ */
+class CorePolicyDiff : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(CorePolicyDiff, PoliciesMatchAcrossEngines)
+{
+    const Workload &w = getWorkload(GetParam());
+    SystemConfig cfg = SystemConfig::bitspec();
+    System sys(w.source, cfg, [&](Module &m) { w.setInput(m, 0); });
+    AttributionMap amap(sys.program());
+    BlockMap bmap(sys.program());
+
+    sys.setCoreEngine(CoreEngine::Legacy);
+    CoreRun hw = runOnce(sys, amap, bmap);
+
+    for (MisspecPolicy p :
+         {MisspecPolicy::ForceFirst, MisspecPolicy::Random}) {
+        const std::string what =
+            w.name + "/" + misspecPolicyName(p);
+        sys.setMisspecPolicy(p, 0xfeed);
+
+        sys.setCoreEngine(CoreEngine::Legacy);
+        CoreRun legacy = runOnce(sys, amap, bmap);
+
+        sys.setCoreEngine(CoreEngine::Fast);
+        CoreRun fast = runOnce(sys, amap, bmap);
+        expectSameRun(legacy, fast, what);
+
+        // Semantics preservation: committed outputs are
+        // policy-independent even though the paths differ.
+        EXPECT_EQ(legacy.ret, hw.ret) << what;
+        EXPECT_EQ(legacy.checksum, hw.checksum) << what;
+        if (p == MisspecPolicy::ForceFirst) {
+            EXPECT_GE(legacy.c.misspeculations,
+                      hw.c.misspeculations)
+                << what;
+        }
+        sys.setMisspecPolicy(MisspecPolicy::Hardware);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mibench, CorePolicyDiff,
+    ::testing::Values("CRC32", "blowfish", "qsort", "rijndael", "sha"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
 INSTANTIATE_TEST_SUITE_P(
     Mibench, CoreEngineDiff,
     ::testing::Values("CRC32", "FFT", "basicmath", "bitcount",
