@@ -7,11 +7,18 @@
  * Usage:
  *   bench_gate <BENCH_micro.json> <history.jsonl>
  *              [--check-only] [--window N] [--drop-pct X]
+ *              [--ledger <run.jsonl>] [--ledger-baseline <prev.jsonl>]
  *
  * The record is appended even when the gate fails — a regression is
  * exactly the run the history must remember — unless --check-only is
  * given. Runs from debug builds are tagged and only ever compared
  * against other debug runs (see obs/trajectory.h).
+ *
+ * When the gate trips and both ledger paths are given, the failure is
+ * auto-forensicated: the run ledger is diffed against the baseline
+ * ledger (obs/diff.h) and the drift table — localized to stage,
+ * region and block — is printed below the gate verdict. The diff
+ * never changes the exit status; it explains it.
  */
 
 #include <chrono>
@@ -23,7 +30,9 @@
 #include <sstream>
 #include <string>
 
+#include "obs/diff.h"
 #include "obs/trajectory.h"
+#include "support/log.h"
 
 using namespace bitspec;
 
@@ -64,7 +73,9 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s <BENCH_micro.json> <history.jsonl> "
-                 "[--check-only] [--window N] [--drop-pct X]\n",
+                 "[--check-only] [--window N] [--drop-pct X] "
+                 "[--ledger <run.jsonl>] "
+                 "[--ledger-baseline <prev.jsonl>]\n",
                  argv0);
     return 2;
 }
@@ -75,6 +86,7 @@ int
 main(int argc, char **argv)
 {
     std::string bench_path, history_path;
+    std::string ledger_path, ledger_baseline_path;
     bool check_only = false;
     GateOptions opts;
     for (int i = 1; i < argc; ++i) {
@@ -86,6 +98,10 @@ main(int argc, char **argv)
                 static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
         } else if (arg == "--drop-pct" && i + 1 < argc) {
             opts.defaultDropPct = std::strtod(argv[++i], nullptr);
+        } else if (arg == "--ledger" && i + 1 < argc) {
+            ledger_path = argv[++i];
+        } else if (arg == "--ledger-baseline" && i + 1 < argc) {
+            ledger_baseline_path = argv[++i];
         } else if (bench_path.empty()) {
             bench_path = arg;
         } else if (history_path.empty()) {
@@ -99,8 +115,7 @@ main(int argc, char **argv)
 
     std::ifstream in(bench_path);
     if (!in) {
-        std::fprintf(stderr, "bench_gate: cannot read %s\n",
-                     bench_path.c_str());
+        log::error("bench_gate: cannot read %s", bench_path.c_str());
         return 2;
     }
     std::stringstream buf;
@@ -116,15 +131,12 @@ main(int argc, char **argv)
     rec.debugBuild = true;
 #endif
     if (rec.debugBuild)
-        std::fprintf(
-            stderr,
-            "*** bench_gate: DEBUG-BUILD record (build_type=%s); "
-            "gating only against other debug runs ***\n",
-            rec.buildType.c_str());
+        log::warn("bench_gate: DEBUG-BUILD record (build_type=%s); "
+                  "gating only against other debug runs",
+                  rec.buildType.c_str());
     if (rec.series.empty()) {
-        std::fprintf(stderr,
-                     "bench_gate: no recognisable series in %s\n",
-                     bench_path.c_str());
+        log::error("bench_gate: no recognisable series in %s",
+                   bench_path.c_str());
         return 2;
     }
 
@@ -135,10 +147,32 @@ main(int argc, char **argv)
                 result.baselineRuns, history_path.c_str());
     std::printf("%s", formatGateResult(result).c_str());
 
+    // Gate tripped: explain it with the ledger forensics when both
+    // the run's ledger and a baseline ledger are at hand.
+    if (!result.pass && !ledger_path.empty() &&
+        !ledger_baseline_path.empty()) {
+        std::vector<LedgerRecord> base =
+            loadLedger(ledger_baseline_path);
+        std::vector<LedgerRecord> cur = loadLedger(ledger_path);
+        if (base.empty() || cur.empty()) {
+            log::warn("bench_gate: cannot diff ledgers (%s: %zu "
+                      "records, %s: %zu records)",
+                      ledger_baseline_path.c_str(), base.size(),
+                      ledger_path.c_str(), cur.size());
+        } else {
+            std::printf("\nledger forensics: %s (baseline) vs %s\n",
+                        ledger_baseline_path.c_str(),
+                        ledger_path.c_str());
+            std::printf("%s",
+                        formatLedgerDiff(diffLedgers(base, cur))
+                            .c_str());
+        }
+    }
+
     if (!check_only) {
         if (!appendHistory(history_path, rec)) {
-            std::fprintf(stderr, "bench_gate: cannot append to %s\n",
-                         history_path.c_str());
+            log::error("bench_gate: cannot append to %s",
+                       history_path.c_str());
             return 2;
         }
         std::printf("recorded -> %s (%zu run(s) total)\n",

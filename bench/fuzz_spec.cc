@@ -38,6 +38,7 @@
 #include "fuzz/differential.h"
 #include "fuzz/gen.h"
 #include "fuzz/shrink.h"
+#include "obs/flightrec.h"
 
 namespace
 {
@@ -166,6 +167,16 @@ runFuzz(const Options &opt)
             std::printf("DIVERGENCE seed %llu: %s\n",
                         static_cast<unsigned long long>(p.seed),
                         r.detail.c_str());
+            // A divergence is exactly the moment the recent-event
+            // rings were built for: snapshot them before the shrink
+            // loop floods the buffers with reduction probes.
+            if (flightrec::active()) {
+                const std::string dump =
+                    flightrec::dumpNow("divergence");
+                if (!dump.empty())
+                    std::printf("flight record -> %s\n",
+                                dump.c_str());
+            }
             if (opt.shrink) {
                 printShrunk(p, [&](const FuzzProgram &c) {
                     return runFuzzDifferential(c, runner).status ==

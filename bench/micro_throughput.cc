@@ -12,6 +12,7 @@
 
 #include "backend/compiler.h"
 #include "core/system.h"
+#include "support/log.h"
 #include "frontend/irgen.h"
 #include "interp/interpreter.h"
 #include "profile/bitwidth_profile.h"
@@ -160,10 +161,8 @@ struct DebugBuildWarning
 {
     DebugBuildWarning()
     {
-        std::fprintf(
-            stderr,
-            "*** micro_throughput built without NDEBUG: throughput "
-            "numbers are NOT comparable to release records ***\n");
+        log::warn("micro_throughput built without NDEBUG: throughput "
+                  "numbers are NOT comparable to release records");
     }
 } g_debugBuildWarning;
 #endif

@@ -7,6 +7,7 @@
 #include "obs/trace.h"
 #include "support/env.h"
 #include "support/error.h"
+#include "support/log.h"
 
 namespace bitspec
 {
@@ -29,8 +30,8 @@ reportUnsafe(const LintReport &report, const char *stage)
     for (const LintFinding &f : report.findings)
         if (f.verdict == LintVerdict::ProvenUnsafe ||
             f.verdict == LintVerdict::SpecLeak)
-            std::fprintf(stderr, "bitspec-lint [%s]: %s\n", stage,
-                         f.message.c_str());
+            log::warn("bitspec-lint [%s]: %s", stage,
+                      f.message.c_str());
 }
 
 } // namespace

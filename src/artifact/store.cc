@@ -11,9 +11,11 @@
 #include <filesystem>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/env.h"
 #include "support/error.h"
+#include "support/log.h"
 #include "support/str.h"
 
 namespace bitspec::artifact
@@ -186,6 +188,9 @@ ArtifactStore::load(const Hash128 &key,
     const std::string path = pathFor(key);
     MappedFile file(path);
     if (!file.present()) {
+        MetricsRegistry::global().counter("artifact.disk.misses").add();
+        trace::instant("artifact.miss", "compile",
+                       {{"key", key.hex()}});
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.misses;
         return std::nullopt;
@@ -195,6 +200,13 @@ ArtifactStore::load(const Hash128 &key,
         // Fail to recompile, never to a crash; drop the bad file so
         // the recompile's publish can replace it.
         span.arg("invalid", why);
+        log::warn("artifact: dropping invalid %s (%s)", path.c_str(),
+                  why);
+        MetricsRegistry::global()
+            .counter("artifact.disk.invalid", {{"why", why}})
+            .add();
+        trace::instant("artifact.invalid", "compile",
+                       {{"key", key.hex()}, {"why", why}});
         std::error_code ec;
         fs::remove(path, ec);
         std::lock_guard<std::mutex> lock(mu_);
@@ -227,6 +239,8 @@ ArtifactStore::load(const Hash128 &key,
         return invalid("key collision");
 
     touch(path); // LRU recency.
+    MetricsRegistry::global().counter("artifact.disk.hits").add();
+    trace::instant("artifact.hit", "compile", {{"key", key.hex()}});
     {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.hits;
@@ -290,6 +304,11 @@ ArtifactStore::publish(const Hash128 &key, const SystemSnapshot &snap)
         return false;
     }
 
+    MetricsRegistry::global().counter("artifact.disk.writes").add();
+    trace::instant("artifact.write", "compile",
+                   {{"key", key.hex()},
+                    {"bytes", std::to_string(kHeaderBytes +
+                                             payload.size())}});
     {
         std::lock_guard<std::mutex> g(mu_);
         ++stats_.writes;
@@ -355,6 +374,13 @@ ArtifactStore::gc(const std::string &spare)
         if (fs::remove(e.path, rm_ec) && !rm_ec) {
             total -= e.size;
             fs::remove(fs::path(e.path.string() + ".lock"), rm_ec);
+            MetricsRegistry::global()
+                .counter("artifact.disk.evictions")
+                .add();
+            trace::instant(
+                "artifact.evict", "compile",
+                {{"path", e.path.filename().string()},
+                 {"bytes", std::to_string(e.size)}});
             std::lock_guard<std::mutex> g(mu_);
             ++stats_.evictions;
         }

@@ -1,13 +1,22 @@
 #include "core/experiment.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <errno.h> // program_invocation_short_name (glibc).
 #include <exception>
+#include <optional>
 
 #include "artifact/store.h"
+#include "obs/attribution.h"
+#include "obs/flightrec.h"
+#include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "support/error.h"
+#include "support/log.h"
+#include "support/stats.h"
 #include "support/str.h"
 
 namespace bitspec
@@ -113,10 +122,14 @@ struct HashKeySink
     }
 };
 
+/** @p include_flavour distinguishes the two key uses: the cache /
+ *  artifact key embeds the build flavour (a snapshot must never
+ *  outlive its producing binary), while the ledger's cell key omits
+ *  it so records from different commits stay joinable. */
 template <typename Sink>
 void
 foldSystemKey(Sink &s, const Workload &w, const SystemConfig &c,
-              uint64_t profile_seed)
+              uint64_t profile_seed, bool include_flavour = true)
 {
     auto appendField = [&s](const char *n, auto v) { s.field(n, v); };
     s.text(w.name);
@@ -165,7 +178,14 @@ foldSystemKey(Sink &s, const Workload &w, const SystemConfig &c,
     appendField("ePipe", c.energy.pipelinePerCycle);
     appendField("eMisspec", c.energy.misspecRecovery);
     appendField("pseed", profile_seed);
-    appendField("flavour", artifact::buildFlavour());
+    if (include_flavour)
+        appendField("flavour", artifact::buildFlavour());
+}
+
+const char *
+coreEngineName(CoreEngine e)
+{
+    return e == CoreEngine::Fast ? "fast" : "legacy";
 }
 
 } // namespace
@@ -187,6 +207,26 @@ ExperimentRunner::systemKeyHash(const Workload &w,
     HashKeySink s;
     foldSystemKey(s, w, c, profile_seed);
     return s.h.digest();
+}
+
+std::string
+ExperimentRunner::cellKey(const ExperimentCell &cell)
+{
+    bsAssert(cell.workload != nullptr, "cellKey on empty cell");
+    StringKeySink s;
+    foldSystemKey(s, *cell.workload, cell.config, cell.profileSeed,
+                  /*include_flavour=*/false);
+    s.field("rseed", cell.runSeed);
+    // "default" (not the resolved engine) when unset: the resolution
+    // depends on the BITSPEC_CORE_ENGINE knob, which is provenance
+    // the ledger records separately — the key must stay a pure
+    // function of the cell.
+    s.field("engine", std::string(cell.engine
+                                      ? coreEngineName(*cell.engine)
+                                      : "default"));
+    s.field("policy", std::string(misspecPolicyName(cell.policy)));
+    s.field("polseed", cell.policySeed);
+    return s.key;
 }
 
 ExperimentRunner::ExperimentRunner(unsigned threads)
@@ -212,7 +252,8 @@ ExperimentRunner::artifactStore() const
 std::shared_ptr<ExperimentRunner::CachedSystem>
 ExperimentRunner::getOrBuild(const Workload &w,
                              const SystemConfig &config,
-                             uint64_t profile_seed)
+                             uint64_t profile_seed,
+                             const char **origin)
 {
     const Hash128 key = systemKeyHash(w, config, profile_seed);
 
@@ -298,7 +339,10 @@ ExperimentRunner::getOrBuild(const Workload &w,
                        {{"workload", w.name},
                         {"inflight", inflight ? "1" : "0"}});
     }
-    return fut.get();
+    std::shared_ptr<CachedSystem> cached = fut.get();
+    if (origin)
+        *origin = builder ? cached->origin : "memory";
+    return cached;
 }
 
 RunResult
@@ -314,11 +358,49 @@ ExperimentRunner::runCell(const ExperimentCell &cell)
     span.arg("run_seed", std::to_string(cell.runSeed));
     if (cell.policy != MisspecPolicy::Hardware)
         span.arg("policy", misspecPolicyName(cell.policy));
-    std::shared_ptr<CachedSystem> cached =
-        getOrBuild(*cell.workload, cell.config, cell.profileSeed);
+    const char *origin = "memory";
+    std::shared_ptr<CachedSystem> cached = getOrBuild(
+        *cell.workload, cell.config, cell.profileSeed, &origin);
     const Workload &w = *cell.workload;
     uint64_t run_seed = cell.runSeed;
+
+    LedgerWriter *ledger = LedgerWriter::global();
+    // Detail capture attaches attribution + heat sinks, which forces
+    // the core off the FastCore replay path — the default ledger
+    // record is deliberately cheap (BITSPEC_LEDGER alone must stay
+    // within bench_smoke's 1% overhead gate).
+    const bool detail = ledger && LedgerWriter::detailEnabled();
+    LedgerRecord rec;
+    uint64_t log_errors0 = 0, log_warns0 = 0;
+    if (ledger) {
+        rec.flavour = artifact::buildFlavour();
+        rec.bench = program_invocation_short_name;
+        rec.workload = w.name;
+        rec.cellKey = cellKey(cell);
+        rec.systemKey = systemKey(w, cell.config, cell.profileSeed);
+        rec.artifactKey =
+            systemKeyHash(w, cell.config, cell.profileSeed).hex();
+        rec.cacheSource = origin;
+        rec.policy = misspecPolicyName(cell.policy);
+        rec.profileSeed = cell.profileSeed;
+        rec.runSeed = cell.runSeed;
+        rec.policySeed = cell.policySeed;
+        rec.env = captureBitspecEnv();
+        log_errors0 = log::count(log::Level::Error);
+        log_warns0 = log::count(log::Level::Warn);
+        // Provenance-only snapshot for the flight recorder: if this
+        // run dies, the post-mortem names the cell that was in
+        // flight.
+        if (flightrec::active())
+            flightrec::setInflight(toJsonLine(rec).c_str());
+    }
+
+    std::optional<AttributionMap> amap;
+    std::optional<BlockMap> bmap;
+    std::optional<AttributionSink> asink;
+    std::optional<BlockProfilerSink> bsink;
     RunResult out;
+    const auto t0 = std::chrono::steady_clock::now();
     {
         std::lock_guard<std::mutex> lock(cached->runMu);
         // Run-level knobs. The policy is set for every cell (a plain
@@ -328,9 +410,28 @@ ExperimentRunner::runCell(const ExperimentCell &cell)
         if (cell.engine)
             cached->sys.setCoreEngine(*cell.engine);
         cached->sys.setMisspecPolicy(cell.policy, cell.policySeed);
-        out = cached->sys.run(
-            [&w, run_seed](Module &m) { w.setInput(m, run_seed); });
+        if (ledger)
+            rec.engine = coreEngineName(cached->sys.coreEngine());
+        auto input = [&w, run_seed](Module &m) {
+            w.setInput(m, run_seed);
+        };
+        if (detail) {
+            amap.emplace(cached->sys.program());
+            bmap.emplace(cached->sys.program());
+            asink.emplace(*amap);
+            bsink.emplace(*bmap);
+            RunObservers observers;
+            observers.attribution = &*asink;
+            observers.blocks = &*bsink;
+            out = cached->sys.run(input, {}, observers);
+        } else {
+            out = cached->sys.run(input);
+        }
     }
+    const double wall_sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
 
     MetricsRegistry &reg = MetricsRegistry::global();
     MetricsRegistry::Labels wl = {{"workload", w.name}};
@@ -341,6 +442,113 @@ ExperimentRunner::runCell(const ExperimentCell &cell)
         .add(out.counters.misspeculations);
     reg.histogram("run.energy_pj", wl).record(out.totalEnergy);
     reg.histogram("run.epi_pj", wl).record(out.epi);
+    reg.histogram("run.cell_wall_sec", wl).record(wall_sec);
+
+    if (ledger) {
+        fillRunTelemetry(rec, out.counters, out.l1i, out.l1d, out.l2,
+                         out.dram, out.energy, out.totalEnergy,
+                         out.epi, out.meanVoltage, out.returnValue,
+                         out.outputChecksum, wall_sec);
+        rec.setField("log.errors",
+                     static_cast<double>(
+                         log::count(log::Level::Error) - log_errors0));
+        rec.setField("log.warns",
+                     static_cast<double>(log::count(log::Level::Warn) -
+                                         log_warns0));
+        const SqueezeStats &sq = out.squeezeStats;
+        rec.setField("squeeze.narrowed", sq.narrowed);
+        rec.setField("squeeze.regions", sq.regions);
+        rec.setField("squeeze.spec_truncs", sq.specTruncs);
+        rec.setField("squeeze.compares_eliminated",
+                     sq.comparesEliminated);
+        rec.setField("squeeze.bitmasks_elided", sq.bitmasksElided);
+        rec.setField("squeeze.static_narrowed", sq.staticNarrowed);
+        rec.setField("squeeze.checks_dropped", sq.checksDropped);
+        rec.setField("squeeze.regions_elided", sq.regionsElided);
+        rec.setField("squeeze.lint_proven_safe", sq.lintProvenSafe);
+        rec.setField("squeeze.lint_proven_unsafe",
+                     sq.lintProvenUnsafe);
+        rec.setField("squeeze.lint_speculative", sq.lintSpeculative);
+        rec.setField("squeeze.lint_spec_leaks", sq.lintSpecLeaks);
+        rec.setField("squeeze.lint_leaks_discharged",
+                     sq.lintLeaksDischarged);
+        rec.setField("expand.inlined_calls",
+                     out.expandStats.inlinedCalls);
+        rec.setField("expand.unrolled_loops",
+                     out.expandStats.unrolledLoops);
+        const BackendStats &be = out.backendStats;
+        rec.setField("backend.static_spill_loads",
+                     be.staticSpillLoads);
+        rec.setField("backend.static_spill_stores",
+                     be.staticSpillStores);
+        rec.setField("backend.static_copies", be.staticCopies);
+        rec.setField("backend.spilled_vregs", be.spilledVRegs);
+        rec.setField("backend.static_insts", be.staticInsts);
+        rec.setField("backend.skeleton_insts", be.skeletonInsts);
+
+        if (detail) {
+            const auto &sites = amap->sites();
+            const auto &activity = asink->activity();
+            for (size_t i = 0; i < sites.size(); ++i) {
+                const RegionActivity &a = activity[i];
+                if (a.entries == 0 && a.misspecs == 0 &&
+                    a.handlerInsts == 0)
+                    continue;
+                LedgerRegionRow row;
+                row.function = sites[i].function;
+                row.regionId = sites[i].regionId;
+                row.srcLine = sites[i].srcLine;
+                row.entries = a.entries;
+                row.misspecs = a.misspecs;
+                row.specInsts = a.specInsts;
+                row.handlerInsts = a.handlerInsts;
+                row.handlerCycles = a.handlerCycles;
+                rec.regions.push_back(std::move(row));
+            }
+            rec.setField(
+                "regions.unattributed_misspecs",
+                static_cast<double>(asink->unattributedMisspecs()));
+
+            // Top-K heat rows by cycles; the *_total fields carry the
+            // exact whole-run sums so validation reconciles against
+            // ActivityCounters even though most rows are dropped.
+            const auto &bsites = bmap->sites();
+            const auto &bact = bsink->activity();
+            std::vector<size_t> order;
+            for (size_t i = 0; i < bsites.size(); ++i)
+                if (bact[i].insts > 0)
+                    order.push_back(i);
+            std::sort(order.begin(), order.end(),
+                      [&bact](size_t x, size_t y) {
+                          return bact[x].cycles > bact[y].cycles;
+                      });
+            constexpr size_t kTopK = 16;
+            if (order.size() > kTopK)
+                order.resize(kTopK);
+            for (size_t i : order) {
+                LedgerHeatRow row;
+                row.function = bsites[i].function;
+                row.block = bsites[i].block;
+                row.regionId = bsites[i].regionId;
+                row.srcLine = bsites[i].srcLine;
+                row.entries = bact[i].entries;
+                row.insts = bact[i].insts;
+                row.cycles = bact[i].cycles;
+                row.misspecs = bact[i].misspecs;
+                rec.heat.push_back(std::move(row));
+            }
+            rec.setField("heat.total_insts",
+                         static_cast<double>(bsink->totalInsts()));
+            rec.setField("heat.total_cycles",
+                         static_cast<double>(bsink->totalCycles()));
+            rec.setField(
+                "heat.total_misspecs",
+                static_cast<double>(bsink->totalMisspecs()));
+        }
+        ledger->append(rec);
+        if (flightrec::active())
+            flightrec::clearInflight();
+    }
     return out;
 }
 
@@ -348,12 +556,21 @@ std::vector<RunResult>
 ExperimentRunner::run(const std::vector<ExperimentCell> &cells)
 {
     std::vector<RunResult> results(cells.size());
+    // Per-cell wall times (measured inside the worker, so parallelism
+    // does not inflate them) feed the matrix-level ledger record's
+    // percentile fields.
+    std::vector<double> walls(cells.size(), 0.0);
     std::vector<std::future<void>> futs;
     futs.reserve(cells.size());
     for (size_t i = 0; i < cells.size(); ++i) {
-        futs.push_back(pool_.submit([this, &cells, &results, i] {
-            results[i] = runCell(cells[i]);
-        }));
+        futs.push_back(
+            pool_.submit([this, &cells, &results, &walls, i] {
+                const auto c0 = std::chrono::steady_clock::now();
+                results[i] = runCell(cells[i]);
+                walls[i] = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - c0)
+                               .count();
+            }));
     }
 
     // Drain every future before unwinding: tasks reference the local
@@ -371,6 +588,28 @@ ExperimentRunner::run(const std::vector<ExperimentCell> &cells)
     {
         std::lock_guard<std::mutex> lock(cacheMu_);
         stats_.cells += cells.size();
+    }
+    // One matrix-level record per run() call summarizing the cell
+    // wall-time distribution; skipped on failure (a failed cell's wall
+    // time is meaningless).
+    LedgerWriter *ledger = LedgerWriter::global();
+    if (!first && ledger && !cells.empty()) {
+        Histogram h;
+        for (double wsec : walls)
+            h.add(wsec);
+        LedgerRecord rec;
+        rec.kind = "matrix";
+        rec.flavour = artifact::buildFlavour();
+        rec.bench = program_invocation_short_name;
+        rec.env = captureBitspecEnv();
+        rec.setField("matrix.cells",
+                     static_cast<double>(cells.size()));
+        rec.setField("wall.total_sec", h.sum());
+        rec.setField("wall.mean_sec", h.mean());
+        rec.setField("wall.p50_sec", h.p50());
+        rec.setField("wall.p95_sec", h.p95());
+        rec.setField("wall.p99_sec", h.p99());
+        ledger->append(rec);
     }
     if (first)
         std::rethrow_exception(first);

@@ -174,12 +174,27 @@ class ExperimentRunner
                                  const SystemConfig &config,
                                  uint64_t profile_seed);
 
+    /**
+     * Canonical *flavour-free* identity of a cell for the run ledger
+     * (obs/ledger.h): the systemKey fields minus the build flavour,
+     * plus the run-level knobs (run seed, engine, policy, policy
+     * seed). Excluding the flavour is the point — bitspec-diff joins
+     * ledgers from two different commits on this key, which is
+     * exactly what the full systemKey is designed to prevent for the
+     * artifact cache.
+     */
+    static std::string cellKey(const ExperimentCell &cell);
+
   private:
     /** A cached System plus the lock serializing run() on it. */
     struct CachedSystem
     {
         System sys;
         std::mutex runMu;
+        /** How this instance came to exist: "compile" or "disk".
+         *  Requesters that find it already cached report "memory" in
+         *  their ledger records instead. */
+        const char *origin = "compile";
 
         CachedSystem(const Workload &w, const SystemConfig &config,
                      uint64_t profile_seed)
@@ -191,13 +206,17 @@ class ExperimentRunner
         /** Warm start from a disk artifact. */
         CachedSystem(const artifact::SystemSnapshot &snap,
                      const SystemConfig &config)
-            : sys(snap, config)
+            : sys(snap, config), origin("disk")
         {}
     };
 
+    /** @p origin (optional) receives this call's cache provenance:
+     *  the built System's origin when this call compiled/restored it,
+     *  "memory" when an already-cached instance served it. */
     std::shared_ptr<CachedSystem> getOrBuild(const Workload &w,
                                              const SystemConfig &config,
-                                             uint64_t profile_seed);
+                                             uint64_t profile_seed,
+                                             const char **origin = nullptr);
     RunResult runCell(const ExperimentCell &cell);
 
     ThreadPool pool_;

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Crash flight recorder: always-on bounded rings of recent
+ * observability events, dumped post-mortem.
+ *
+ * BITSPEC_TRACE captures everything but only helps when the process
+ * lives to flush; the flight recorder is the inverse trade. When
+ * BITSPEC_FLIGHTREC=<dir> is set, every span begin/end, counter
+ * sample, and log message is *also* recorded into a fixed-size
+ * per-thread ring (newest events overwrite oldest), and fatal
+ * signals (SIGSEGV/SIGABRT/SIGBUS/SIGFPE/SIGILL) or std::terminate
+ * dump the rings to <dir>/flightrec-<pid>-*.json as valid
+ * Chrome-trace JSON — loadable in Perfetto like any BITSPEC_TRACE
+ * export — plus each thread's in-flight ledger record (obs/ledger.h)
+ * so the post-mortem names the exact cell that was executing.
+ *
+ * Design constraints, in order:
+ *  - The record path must be cheap enough to leave on under the
+ *    bench harness: one relaxed atomic check when inactive; when
+ *    active, a clock read and bounded memcpy into a preallocated
+ *    slot — no locks, no allocation, ever.
+ *  - The dump path runs inside a signal handler, so it touches only
+ *    memory that is never freed (rings are intentionally leaked),
+ *    formats into stack buffers, and writes with write(2). Slots
+ *    being concurrently overwritten can yield stale text in the
+ *    dump; JSON validity is preserved by escaping at dump time
+ *    ("torn but loadable" — the same contract as a torn ledger
+ *    line).
+ *  - trace.cc feeds the rings from its existing Span/instant/counter
+ *    sites and support/log feeds them through its sink hook, so the
+ *    recorder sees the whole diagnostic surface without new
+ *    instrumentation.
+ *
+ * fuzz_spec also dumps on *logical* failure (divergence found), so a
+ * fuzzer repro ships with the event history that led to it.
+ */
+
+#ifndef BITSPEC_OBS_FLIGHTREC_H_
+#define BITSPEC_OBS_FLIGHTREC_H_
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+namespace bitspec::flightrec
+{
+
+extern std::atomic<bool> g_active;
+
+/** Fast path: is the recorder capturing? One relaxed load. */
+inline bool
+active()
+{
+    return g_active.load(std::memory_order_relaxed);
+}
+
+/**
+ * Activate capture, remember @p dir for crash dumps, install the
+ * fatal-signal and terminate handlers, and attach the log sink.
+ * Called automatically at static-init when BITSPEC_FLIGHTREC is set.
+ */
+void install(const std::string &dir);
+
+/** Capture on/off without touching signal handlers (tests). */
+void setActive(bool on);
+
+/** The configured dump directory ("" when not installed). */
+const char *dumpDir();
+
+/**
+ * Record one event into the calling thread's ring. @p phase follows
+ * Chrome trace phases ('B', 'E', 'i', 'C'); @p name/@p cat/@p detail
+ * are copied (truncated) into fixed slot arrays. No-op when
+ * inactive.
+ */
+void record(char phase, const char *name, const char *cat,
+            const char *detail);
+
+/** Stash this thread's in-flight ledger record (a toJsonLine()
+ *  payload, truncated to the slot size) for inclusion in any dump. */
+void setInflight(const char *json);
+void clearInflight();
+
+/** Write a dump to @p path (normal context). */
+bool dumpTo(const std::string &path, const char *reason);
+
+/**
+ * Write a dump into the configured directory (normal context — used
+ * by fuzz_spec on divergence). Returns the path, or "" when the
+ * recorder is not installed or the write failed.
+ */
+std::string dumpNow(const char *reason);
+
+/** Events currently resident across all rings (tests). */
+size_t eventCount();
+
+/** Clear all rings and in-flight records (test isolation). */
+void reset();
+
+} // namespace bitspec::flightrec
+
+#endif // BITSPEC_OBS_FLIGHTREC_H_

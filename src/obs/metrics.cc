@@ -8,6 +8,7 @@
 
 #include "support/env.h"
 #include "support/error.h"
+#include "support/log.h"
 
 namespace bitspec
 {
@@ -78,14 +79,12 @@ struct EnvInit
         std::atexit([] {
             std::ofstream os(s_path);
             if (!os) {
-                std::fprintf(stderr,
-                             "BITSPEC_METRICS: cannot write %s\n",
-                             s_path.c_str());
+                log::error("BITSPEC_METRICS: cannot write %s",
+                           s_path.c_str());
                 return;
             }
             MetricsRegistry::global().writeJsonLines(os);
-            std::fprintf(stderr, "BITSPEC_METRICS: wrote %s\n",
-                         s_path.c_str());
+            log::info("BITSPEC_METRICS: wrote %s", s_path.c_str());
         });
     }
 };

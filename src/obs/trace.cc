@@ -8,7 +8,9 @@
 #include <mutex>
 #include <sstream>
 
+#include "obs/flightrec.h"
 #include "support/env.h"
+#include "support/log.h"
 
 namespace bitspec::trace
 {
@@ -164,12 +166,10 @@ struct EnvInit
         nameThisThread("main");
         std::atexit([] {
             if (!writeTo(s_path))
-                std::fprintf(stderr,
-                             "BITSPEC_TRACE: cannot write %s\n",
-                             s_path.c_str());
+                log::error("BITSPEC_TRACE: cannot write %s",
+                           s_path.c_str());
             else
-                std::fprintf(stderr, "BITSPEC_TRACE: wrote %s\n",
-                             s_path.c_str());
+                log::info("BITSPEC_TRACE: wrote %s", s_path.c_str());
         });
     }
 };
@@ -181,6 +181,11 @@ EnvInit g_envInit;
 Span::Span(std::string name, const char *category)
     : live_(enabled()), name_(std::move(name)), cat_(category)
 {
+    // The flight recorder rides along even when tracing is off: its
+    // rings are bounded, so always-on capture cannot grow memory the
+    // way the trace buffers would.
+    if (flightrec::active())
+        flightrec::record('B', name_.c_str(), cat_, "");
     if (!live_)
         return;
     Event e;
@@ -193,6 +198,8 @@ Span::Span(std::string name, const char *category)
 
 Span::~Span()
 {
+    if (flightrec::active())
+        flightrec::record('E', name_.c_str(), cat_, "");
     if (!live_)
         return;
     Event e;
@@ -216,6 +223,21 @@ void
 instant(std::string name, const char *category,
         std::vector<std::pair<std::string, std::string>> args)
 {
+    if (flightrec::active()) {
+        char detail[96];
+        size_t len = 0;
+        detail[0] = 0;
+        for (const auto &[key, value] : args) {
+            int n = std::snprintf(detail + len, sizeof detail - len,
+                                  "%s%s=%s", len ? " " : "",
+                                  key.c_str(), value.c_str());
+            if (n < 0 ||
+                static_cast<size_t>(n) >= sizeof detail - len)
+                break;
+            len += static_cast<size_t>(n);
+        }
+        flightrec::record('i', name.c_str(), category, detail);
+    }
     if (!enabled())
         return;
     Event e;
@@ -230,10 +252,12 @@ instant(std::string name, const char *category,
 void
 counter(std::string name, const char *category, double value)
 {
-    if (!enabled())
-        return;
     char buf[48];
     std::snprintf(buf, sizeof buf, "%.17g", value);
+    if (flightrec::active())
+        flightrec::record('C', name.c_str(), category, buf);
+    if (!enabled())
+        return;
     Event e;
     e.name = std::move(name);
     e.cat = category;

@@ -18,6 +18,14 @@
  *  - BITSPEC_ARTIFACT_DIR  compiled-System artifact store directory
  *                          (unset/empty = disk cache tier disabled)
  *  - BITSPEC_ARTIFACT_MAX_MB  artifact store size budget (default 512)
+ *  - BITSPEC_LEDGER        path for run-ledger JSONL append
+ *                          (obs/ledger.h; unset/empty = disabled)
+ *  - BITSPEC_LEDGER_DETAIL embed per-region + heat rows per ledgered
+ *                          cell (bool; costs the replay fast path)
+ *  - BITSPEC_FLIGHTREC     crash flight-recorder dump directory
+ *                          (obs/flightrec.h; unset/empty = disabled)
+ *  - BITSPEC_LOG           stderr log threshold:
+ *                          error|warn|info|debug (default warn)
  */
 
 #ifndef BITSPEC_SUPPORT_ENV_H_

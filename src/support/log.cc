@@ -1,0 +1,141 @@
+#include "support/log.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+#include "support/env.h"
+#include "support/error.h"
+
+namespace bitspec::log
+{
+
+namespace
+{
+
+std::atomic<int> g_threshold{-1}; ///< -1 = not yet read from env.
+std::atomic<Sink> g_sink{nullptr};
+std::atomic<uint64_t> g_counts[4]{};
+
+Level
+thresholdFromEnv()
+{
+    const std::string v = env::getString("BITSPEC_LOG", "warn");
+    if (v == "error")
+        return Level::Error;
+    if (v == "warn" || v.empty())
+        return Level::Warn;
+    if (v == "info")
+        return Level::Info;
+    if (v == "debug")
+        return Level::Debug;
+    fatal("BITSPEC_LOG must be error|warn|info|debug, got \"" + v +
+          "\"");
+}
+
+} // namespace
+
+const char *
+levelName(Level l)
+{
+    switch (l) {
+      case Level::Error: return "error";
+      case Level::Warn: return "warn";
+      case Level::Info: return "info";
+      case Level::Debug: return "debug";
+    }
+    return "?";
+}
+
+Level
+threshold()
+{
+    int t = g_threshold.load(std::memory_order_relaxed);
+    if (t < 0) {
+        t = static_cast<int>(thresholdFromEnv());
+        g_threshold.store(t, std::memory_order_relaxed);
+    }
+    return static_cast<Level>(t);
+}
+
+void
+setThreshold(Level l)
+{
+    g_threshold.store(static_cast<int>(l), std::memory_order_relaxed);
+}
+
+bool
+enabled(Level l)
+{
+    return static_cast<int>(l) <= static_cast<int>(threshold());
+}
+
+namespace
+{
+
+void
+vmessage(Level l, const char *fmt, va_list ap)
+{
+    g_counts[static_cast<int>(l)].fetch_add(1,
+                                            std::memory_order_relaxed);
+    Sink sink = g_sink.load(std::memory_order_acquire);
+    if (!sink && !enabled(l))
+        return; // Nothing would see the formatted text.
+
+    char buf[1024];
+    std::vsnprintf(buf, sizeof buf, fmt, ap);
+    if (sink)
+        sink(l, buf);
+    if (enabled(l))
+        std::fprintf(stderr, "bitspec[%s]: %s\n", levelName(l), buf);
+}
+
+} // namespace
+
+void
+message(Level l, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vmessage(l, fmt, ap);
+    va_end(ap);
+}
+
+#define BITSPEC_LOG_FN(fn, level)                                      \
+    void fn(const char *fmt, ...)                                      \
+    {                                                                  \
+        va_list ap;                                                    \
+        va_start(ap, fmt);                                             \
+        vmessage(level, fmt, ap);                                      \
+        va_end(ap);                                                    \
+    }
+
+BITSPEC_LOG_FN(error, Level::Error)
+BITSPEC_LOG_FN(warn, Level::Warn)
+BITSPEC_LOG_FN(info, Level::Info)
+BITSPEC_LOG_FN(debug, Level::Debug)
+
+#undef BITSPEC_LOG_FN
+
+uint64_t
+count(Level l)
+{
+    return g_counts[static_cast<int>(l)].load(
+        std::memory_order_relaxed);
+}
+
+void
+resetCounts()
+{
+    for (auto &c : g_counts)
+        c.store(0, std::memory_order_relaxed);
+}
+
+void
+setSink(Sink sink)
+{
+    g_sink.store(sink, std::memory_order_release);
+}
+
+} // namespace bitspec::log

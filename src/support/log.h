@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Structured leveled logging for the whole toolchain.
+ *
+ * Before this existed every subsystem warned through bare
+ * fprintf(stderr, ...) — the messages were invisible to the
+ * observability stack (no trace events, no counters, nothing for the
+ * flight recorder to replay after a crash). All diagnostics now go
+ * through log::error/warn/info/debug:
+ *
+ *  - severity filtering via the typed BITSPEC_LOG env knob
+ *    (error|warn|info|debug; default warn), hard-erroring on
+ *    malformed values like every other knob in support/env.h;
+ *  - per-level atomic counters (log::count) so harnesses and the run
+ *    ledger can record "this run produced N warnings" as telemetry;
+ *  - an optional process-wide sink hook (log::setSink) through which
+ *    obs/flightrec captures every emitted message into its crash
+ *    rings — support/ cannot link against obs/, so the dependency
+ *    points the other way via this callback.
+ *
+ * Messages always carry their level prefix ("bitspec[warn]: ...") and
+ * go to stderr, keeping stdout clean for bench/report payloads.
+ * Emission is cheap when filtered: one relaxed atomic load and an
+ * integer compare, no formatting.
+ */
+
+#ifndef BITSPEC_SUPPORT_LOG_H_
+#define BITSPEC_SUPPORT_LOG_H_
+
+#include <cstdint>
+
+namespace bitspec::log
+{
+
+/** Severities, most to least severe. Filtering keeps levels <= the
+ *  configured threshold. */
+enum class Level : int
+{
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+};
+
+/** Printable name ("error", "warn", ...). */
+const char *levelName(Level l);
+
+/** The active threshold (from BITSPEC_LOG at first use, or
+ *  setThreshold). Messages above it are counted but not emitted. */
+Level threshold();
+
+/** Override the threshold (tests, harnesses; wins over the env). */
+void setThreshold(Level l);
+
+/** Cheap filter check: would a message at @p l be emitted? */
+bool enabled(Level l);
+
+/** Emit a printf-style message at @p l. Always bumps the level's
+ *  counter and feeds the sink (even when filtered from stderr, so the
+ *  flight recorder sees debug chatter the console hides). */
+void message(Level l, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void error(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void info(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Messages recorded at @p l since process start (filtered ones
+ *  included — the counter tracks occurrences, not console lines). */
+uint64_t count(Level l);
+
+/** Reset every level counter (test isolation). */
+void resetCounts();
+
+/**
+ * Process-wide observer of every formatted message (any level,
+ * filtered or not). One sink; setting replaces the previous one,
+ * nullptr detaches. The callback runs on the emitting thread and must
+ * be cheap and reentrancy-safe (it must not log).
+ */
+using Sink = void (*)(Level l, const char *msg);
+void setSink(Sink sink);
+
+} // namespace bitspec::log
+
+#endif // BITSPEC_SUPPORT_LOG_H_

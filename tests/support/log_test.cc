@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "support/log.h"
+
+namespace bitspec
+{
+namespace
+{
+
+/** Captured (level, message) pairs from the sink hook. The sink is a
+ *  plain function pointer, so the capture buffer is a static. */
+std::vector<std::pair<log::Level, std::string>> g_captured;
+
+void
+captureSink(log::Level l, const char *msg)
+{
+    g_captured.emplace_back(l, msg);
+}
+
+/** Restores the default threshold and detaches the sink on exit, so
+ *  tests cannot leak logging state into each other. */
+struct LogGuard
+{
+    LogGuard()
+    {
+        log::resetCounts();
+        g_captured.clear();
+    }
+    ~LogGuard()
+    {
+        log::setThreshold(log::Level::Warn);
+        log::setSink(nullptr);
+    }
+};
+
+TEST(Log, LevelNames)
+{
+    EXPECT_STREQ(log::levelName(log::Level::Error), "error");
+    EXPECT_STREQ(log::levelName(log::Level::Warn), "warn");
+    EXPECT_STREQ(log::levelName(log::Level::Info), "info");
+    EXPECT_STREQ(log::levelName(log::Level::Debug), "debug");
+}
+
+TEST(Log, ThresholdFilters)
+{
+    LogGuard guard;
+    log::setThreshold(log::Level::Warn);
+    EXPECT_TRUE(log::enabled(log::Level::Error));
+    EXPECT_TRUE(log::enabled(log::Level::Warn));
+    EXPECT_FALSE(log::enabled(log::Level::Info));
+    EXPECT_FALSE(log::enabled(log::Level::Debug));
+
+    log::setThreshold(log::Level::Debug);
+    EXPECT_TRUE(log::enabled(log::Level::Debug));
+}
+
+TEST(Log, CountersBumpEvenWhenFiltered)
+{
+    LogGuard guard;
+    log::setThreshold(log::Level::Error); // Filter warn and below.
+    const uint64_t warns0 = log::count(log::Level::Warn);
+    const uint64_t debugs0 = log::count(log::Level::Debug);
+    log::warn("suppressed warning %d", 1);
+    log::debug("suppressed debug");
+    EXPECT_EQ(log::count(log::Level::Warn), warns0 + 1);
+    EXPECT_EQ(log::count(log::Level::Debug), debugs0 + 1);
+}
+
+TEST(Log, SinkSeesFilteredMessages)
+{
+    LogGuard guard;
+    log::setThreshold(log::Level::Error);
+    log::setSink(captureSink);
+    log::info("hidden from stderr, visible to the sink: %s", "x");
+    log::error("loud");
+    log::setSink(nullptr);
+    ASSERT_EQ(g_captured.size(), 2u);
+    EXPECT_EQ(g_captured[0].first, log::Level::Info);
+    EXPECT_EQ(g_captured[0].second,
+              "hidden from stderr, visible to the sink: x");
+    EXPECT_EQ(g_captured[1].first, log::Level::Error);
+    EXPECT_EQ(g_captured[1].second, "loud");
+}
+
+TEST(Log, ResetCountsClearsEveryLevel)
+{
+    LogGuard guard;
+    log::setThreshold(log::Level::Error);
+    log::warn("w");
+    log::error("e");
+    log::resetCounts();
+    EXPECT_EQ(log::count(log::Level::Error), 0u);
+    EXPECT_EQ(log::count(log::Level::Warn), 0u);
+    EXPECT_EQ(log::count(log::Level::Info), 0u);
+    EXPECT_EQ(log::count(log::Level::Debug), 0u);
+}
+
+} // namespace
+} // namespace bitspec
